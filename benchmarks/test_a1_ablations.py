@@ -1,0 +1,223 @@
+"""A1 -- Ablations of the design choices the paper argues for.
+
+Four studies, each grounded in a passage of the paper:
+
+1. **Threaded vs MPI-only overlap** (Appendix B): "An alternative
+   would be to use MPI-only constructs ... Of greater concern would be
+   the need to transmit large amounts of scientific data between
+   reader and render processes. We consciously chose to avoid
+   incurring this additional cost by using a threaded model."
+2. **QoS bandwidth reservation** (section 5): "QoS is needed ... to
+   provide some minimum bandwidth guarantees to a Visapult session."
+3. **DPSS wire compression** (section 5): "'wire level' compression
+   would benefit a wide array of applications."
+4. **Slab count** (section 3.3): more slabs mean finer IBRAVR depth
+   quantisation but more viewer textures.
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.core.platforms import Wans
+from repro.datagen import CombustionConfig, combustion_field
+from repro.dpss import CompressionModel
+from repro.ibravr import artifact_error
+from repro.netsim import Host, Link, Network, TcpConnection, TcpParams
+from repro.util.units import MB, bytes_per_sec_to_mbps, mbps
+from repro.volren import TransferFunction
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="a1-ablations")
+def test_a1_threaded_vs_mpi_only_overlap(benchmark, comparison):
+    comp = comparison(
+        "A1", "Appendix B: threaded overlap vs the MPI-only alternative"
+    )
+    base = CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True)
+
+    def run():
+        serial = run_campaign(base)
+        threaded = run_campaign(
+            base.with_changes(overlapped=True, name="ablate-threaded")
+        )
+        mpi_only = run_campaign(
+            base.with_changes(mpi_only_overlap=True, name="ablate-mpi")
+        )
+        return serial, threaded, mpi_only
+
+    serial, threaded, mpi_only = once(benchmark, run)
+    comp.row("serial baseline", "-", f"{serial.total_time:.0f} s")
+    comp.row(
+        "threaded overlap (the paper's choice)",
+        "fastest",
+        f"{threaded.total_time:.0f} s",
+    )
+    comp.row(
+        "MPI-only overlap (half the ranks read)",
+        "pays data transmission + halves render parallelism",
+        f"{mpi_only.total_time:.0f} s "
+        f"(R {mpi_only.mean_render:.1f} s vs {threaded.mean_render:.1f} s)",
+    )
+    assert threaded.total_time < serial.total_time
+    # At equal node count, the MPI-only design loses to the threaded
+    # one -- here it even loses to serial because render parallelism
+    # halves, which is exactly why the paper avoided it.
+    assert mpi_only.total_time > threaded.total_time
+    assert mpi_only.mean_render > 1.5 * threaded.mean_render
+
+
+@pytest.mark.benchmark(group="a1-ablations")
+def test_a1_qos_bandwidth_reservation(benchmark, comparison):
+    comp = comparison(
+        "A1", "Section 5: QoS bandwidth reservation under contention"
+    )
+
+    def build():
+        net = Network()
+        net.add_host(Host("dpss", nic_rate=mbps(2000)))
+        net.add_host(Host("backend", nic_rate=mbps(2000)))
+        net.add_host(Host("other", nic_rate=mbps(2000)))
+        wan = net.add_link(
+            Link("wan", rate=Wans.NTON_2000.rate, latency=0.0025,
+                 efficiency=Wans.NTON_2000.efficiency)
+        )
+        net.add_route("dpss", "backend", [wan])
+        net.add_route("dpss", "other", [wan])
+        return net
+
+    def measure(reserved_mbps):
+        net = build()
+        params = TcpParams(slow_start=False, max_window=8 * MB)
+        visapult = TcpConnection(net, "dpss", "backend", params)
+        visapult.reserved_rate = mbps(reserved_mbps)
+        # Sixteen competing bulk flows flood the same OC-12.
+        floods = [
+            TcpConnection(net, "dpss", "other", params) for _ in range(16)
+        ]
+        flood_events = [c.send(400 * MB, label="flood") for c in floods]
+        ev = visapult.send(160 * MB, label="visapult")
+        net.run(until=ev)
+        for fe in flood_events:
+            fe._defused = True  # floods may still be in flight
+        return bytes_per_sec_to_mbps(ev.value.throughput)
+
+    def run():
+        return measure(0.0), measure(300.0)
+
+    unreserved, reserved = once(benchmark, run)
+    comp.row(
+        "Visapult share without QoS",
+        "collapses to 1/17 of the link",
+        f"{unreserved:.0f} Mbps",
+    )
+    comp.row(
+        "Visapult share with a 300 Mbps reservation",
+        "minimum bandwidth guaranteed",
+        f"{reserved:.0f} Mbps",
+    )
+    fair_share = 622 * 0.70 / 17
+    assert unreserved == pytest.approx(fair_share, rel=0.25)
+    assert reserved >= 295.0
+    assert reserved > 3 * unreserved
+
+
+@pytest.mark.benchmark(group="a1-ablations")
+def test_a1_wire_compression_crossover(benchmark, comparison):
+    comp = comparison(
+        "A1", "Section 5: DPSS wire compression helps WANs, hurts LANs"
+    )
+
+    from repro.dpss import DpssDataset, DpssMaster, DpssServer
+
+    def read_time(wan_mbps, compression):
+        net = Network()
+        net.add_host(Host("client", nic_rate=mbps(2000), n_cpus=2))
+        net.add_host(Host("master", nic_rate=mbps(100)))
+        link = net.add_link(
+            Link("path", rate=mbps(wan_mbps), latency=0.005)
+        )
+        net.add_route("client", "master", [link])
+        master = DpssMaster(net.host("master"))
+        for i in range(4):
+            net.add_host(Host(f"s{i}", nic_rate=mbps(1000)))
+            srv = DpssServer(net.host(f"s{i}"), n_disks=5,
+                             disk_rate=8 * MB, cache_bytes=0)
+            srv.attach(net)
+            master.add_server(srv)
+            net.add_route(f"s{i}", "client", [link])
+        master.register_dataset(DpssDataset("ds", size=320 * MB))
+        from repro.dpss import DpssClient
+
+        client = DpssClient(
+            net, "client", master,
+            tcp_params=TcpParams(slow_start=False, max_window=4 * MB),
+            compression=compression,
+        )
+        open_ev = client.open("ds")
+        net.run(until=open_ev)
+        handle = open_ev.value
+        t0 = net.env.now
+        read = client.read(handle, 160 * MB)
+        net.run(until=read)
+        return net.env.now - t0
+
+    def run():
+        lossy = CompressionModel.lossy(0.5)  # 4x ratio
+        slow_raw = read_time(50.0, None)
+        slow_cmp = read_time(50.0, lossy)
+        fast_raw = read_time(1000.0, None)
+        fast_cmp = read_time(1000.0, lossy)
+        return slow_raw, slow_cmp, fast_raw, fast_cmp
+
+    slow_raw, slow_cmp, fast_raw, fast_cmp = once(benchmark, run)
+    comp.row(
+        "160 MB over a 50 Mbps path",
+        "compression wins",
+        f"raw {slow_raw:.1f} s vs compressed {slow_cmp:.1f} s",
+    )
+    comp.row(
+        "160 MB over a 1000 Mbps LAN",
+        "decompression CPU becomes the bottleneck",
+        f"raw {fast_raw:.1f} s vs compressed {fast_cmp:.1f} s",
+    )
+    assert slow_cmp < 0.5 * slow_raw
+    assert fast_cmp > fast_raw
+
+
+@pytest.mark.benchmark(group="a1-ablations")
+def test_a1_slab_count_tradeoff(benchmark, comparison):
+    comp = comparison(
+        "A1", "Slab count: fidelity vs viewer payload (section 3.3)"
+    )
+    volume = combustion_field(
+        0.0,
+        CombustionConfig(shape=(64, 64, 64), n_kernels=4,
+                         front_sharpness=10.0),
+    )
+    tf = TransferFunction.opaque_fire()
+
+    def run():
+        out = {}
+        for n_slabs in (2, 4, 8, 16):
+            # Far off-axis (40 deg): within-slab parallax error
+            # dominates, so thick slabs are visibly wrong and more
+            # slabs monotonically improve fidelity.
+            sample = artifact_error(
+                volume, tf, 40.0, n_slabs=n_slabs, image_size=64
+            )
+            payload = n_slabs * 64 * 64 * 4
+            out[n_slabs] = (sample.rms_error, payload)
+        return out
+
+    results = once(benchmark, run)
+    for n_slabs, (err, payload) in sorted(results.items()):
+        comp.row(
+            f"{n_slabs:2d} slabs at 40 deg off-axis",
+            "error falls, payload grows",
+            f"rms {err:.4f}, {payload / 1e3:.0f} KB of textures",
+        )
+    errs = [results[n][0] for n in (2, 4, 8, 16)]
+    # More slabs -> closer to ground truth far off-axis.
+    assert errs[0] > errs[1] > errs[2] > errs[3]
+    # Payload is linear in slab count.
+    assert results[16][1] == 8 * results[2][1]

@@ -1,0 +1,149 @@
+"""A2 -- Section 3.2: object-order vs image-order decomposition.
+
+"Image order algorithms ... require some amount of data duplication
+across the processors, so do not scale as well with data size as the
+object order algorithms. The performance of image order parallel
+volume rendering algorithms is more sensitive to view orientation ...
+In some views, there may be some processors with little or no work.
+In addition, as the model moves, the source volume data required at a
+given processor will change, requiring data redistribution."
+
+Both algorithm families are implemented here; the benchmark measures
+the three costs the paper names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CombustionConfig, combustion_field
+from repro.scenegraph import Camera
+from repro.volren import TransferFunction, slab_decompose
+from repro.volren.imageorder import (
+    redistribution_voxels,
+    tile_data_bounds,
+    tile_decompose,
+    footprint_voxels,
+    work_imbalance,
+)
+from benchmarks.conftest import once
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return combustion_field(0.0, CombustionConfig(shape=(48, 48, 48)))
+
+
+@pytest.mark.benchmark(group="a2-decomposition")
+def test_a2_data_duplication(benchmark, comparison, volume):
+    comp = comparison(
+        "A2", "Data duplication: object order holds 1x, image order more"
+    )
+    n_pes = 8
+    W = H = 64
+
+    def run():
+        slabs = slab_decompose(volume.shape, n_pes)
+        object_total = sum(s.n_voxels for s in slabs)
+        tiles = tile_decompose(W, H, n_pes)
+        duplication = {}
+        for elev in (0.0, 20.0, 40.0):
+            camera = Camera.orbit(0.0, elev)
+            total = sum(
+                footprint_voxels(
+                    tile_data_bounds(camera, t, volume.shape, W, H)
+                )
+                for t in tiles
+            )
+            duplication[elev] = total / volume.size
+        return object_total / volume.size, duplication
+
+    object_factor, duplication = once(benchmark, run)
+    comp.row(
+        "object order, any view",
+        "1.0x the volume, fixed",
+        f"{object_factor:.2f}x",
+    )
+    for elev, factor in sorted(duplication.items()):
+        comp.row(
+            f"image order at {elev:.0f} deg elevation",
+            "duplication grows off-axis",
+            f"{factor:.2f}x the volume",
+        )
+    assert object_factor == pytest.approx(1.0)
+    assert duplication[40.0] > duplication[0.0]
+    assert duplication[40.0] > 1.5
+
+
+@pytest.mark.benchmark(group="a2-decomposition")
+def test_a2_redistribution_on_rotation(benchmark, comparison, volume):
+    comp = comparison(
+        "A2", "View rotation: object order moves nothing, image order"
+        " re-fetches"
+    )
+    n_pes = 8
+    W = H = 64
+
+    def run():
+        tiles = tile_decompose(W, H, n_pes)
+        moved = {}
+        for delta in (10.0, 30.0, 60.0):
+            moved[delta] = redistribution_voxels(
+                Camera.orbit(0, 0), Camera.orbit(0, delta),
+                tiles, volume.shape, W, H,
+            )
+        return moved
+
+    moved = once(benchmark, run)
+    comp.row(
+        "object order, any rotation",
+        "0 voxels (partition is view-independent)",
+        "0 voxels",
+    )
+    for delta, voxels in sorted(moved.items()):
+        comp.row(
+            f"image order, {delta:.0f} deg rotation",
+            "redistribution grows with rotation",
+            f"{voxels / 1e3:.0f} kvoxels "
+            f"({voxels / volume.size:.1f}x the volume)",
+        )
+    assert moved[10.0] > 0
+    assert moved[60.0] > moved[10.0]
+
+
+@pytest.mark.benchmark(group="a2-decomposition")
+def test_a2_view_dependent_load_balance(benchmark, comparison):
+    comp = comparison(
+        "A2", "Load balance: image order is view-sensitive"
+    )
+    tf = TransferFunction.fire()
+    # An asymmetric volume: all mass in the top quarter of the domain.
+    vol = np.zeros((32, 32, 32), dtype=np.float32)
+    vol[:, :, 22:30] = combustion_field(
+        0.0, CombustionConfig(shape=(32, 32, 8))
+    )
+
+    def run():
+        tiles = tile_decompose(48, 48, 4)
+        imbalance = work_imbalance(
+            vol, tf, Camera.orbit(0, 0), tiles, 48, 48
+        )
+        # Object-order render cost is per-voxel (every sample is
+        # evaluated), so equal slabs mean equal work, any view.
+        slabs = slab_decompose(vol.shape, 4)
+        slab_work = [s.n_voxels for s in slabs]
+        slab_imbalance = max(slab_work) / float(np.mean(slab_work))
+        return imbalance, slab_imbalance
+
+    tile_imbalance, slab_imbalance = once(benchmark, run)
+    comp.row(
+        "image-order max/mean tile work",
+        "some processors have little or no work",
+        f"{tile_imbalance:.1f}x",
+    )
+    comp.row(
+        "object-order max/mean slab work (voxels)",
+        "balanced regardless of view",
+        f"{slab_imbalance:.2f}x",
+    )
+    assert tile_imbalance > 2.0
+    assert slab_imbalance < 1.05

@@ -1,0 +1,121 @@
+"""A3 -- Section 5 future work: automated corridor resource selection.
+
+"In order for research scientists to successfully use a tool like
+Visapult, they may need detailed technical knowledge of networks,
+knowledge of the existence of and access to the remote resources ...
+A good deal of our future work will be focused upon simplifying the
+access to and use of the remote and distributed resources."
+
+The corridor planner encodes that knowledge: given only a dataset name
+and a viewing site, it picks the compute platform and PE count. This
+benchmark validates the planner's model against full simulations of
+every candidate placement.
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.core.platforms import Wans
+from repro.corridor import CorridorMap, SessionRequest, plan_session
+from repro.datagen import TimeSeriesMeta
+from benchmarks.conftest import once
+
+PAPER_META = TimeSeriesMeta(
+    name="combustion-640", shape=(640, 256, 256), n_timesteps=265
+)
+
+
+@pytest.mark.benchmark(group="a3-corridor")
+def test_a3_planner_prediction_matches_simulation(benchmark, comparison):
+    comp = comparison(
+        "A3", "Planner predictions vs full simulation, per platform"
+    )
+    cmap = CorridorMap.year_2000_testbed()
+    request = SessionRequest(
+        dataset="combustion-640", meta=PAPER_META, viewer_site="snl",
+        overlapped=False, n_timesteps=6,
+    )
+
+    def run():
+        plan = plan_session(cmap, request)
+        checked = []
+        for cand in plan.candidates:
+            if cand.n_pes != 8:
+                continue
+            wan = cand.wan if cand.wan is not None else Wans.LAN_GIGE
+            cfg = CampaignConfig(
+                name=f"a3-{cand.resource.name}",
+                platform=cand.resource.platform,
+                wan=wan,
+                n_pes=8,
+                overlapped=False,
+                n_timesteps=6,
+            )
+            result = run_campaign(cfg)
+            checked.append((cand, result))
+        return plan, checked
+
+    plan, checked = once(benchmark, run)
+    for cand, result in checked:
+        comp.row(
+            f"{cand.resource.name} x8 load",
+            f"predicted {cand.load_seconds:.1f} s",
+            f"simulated {result.mean_load:.1f} s",
+        )
+        comp.row(
+            f"{cand.resource.name} x8 render",
+            f"predicted {cand.render_seconds:.1f} s",
+            f"simulated {result.mean_render:.1f} s",
+        )
+        assert result.mean_load == pytest.approx(
+            cand.load_seconds, rel=0.25
+        )
+        assert result.mean_render == pytest.approx(
+            cand.render_seconds, rel=0.25
+        )
+
+
+@pytest.mark.benchmark(group="a3-corridor")
+def test_a3_planner_choice_is_actually_fastest(benchmark, comparison):
+    comp = comparison(
+        "A3", "The planner's placement wins the end-to-end race"
+    )
+    cmap = CorridorMap.year_2000_testbed()
+    request = SessionRequest(
+        dataset="combustion-640", meta=PAPER_META, viewer_site="snl",
+        overlapped=True, n_timesteps=6,
+    )
+
+    def run():
+        plan = plan_session(cmap, request)
+        # Race the chosen placement against each rival platform's own
+        # best PE count.
+        periods = {}
+        best_by_resource = {}
+        for cand in plan.candidates:
+            cur = best_by_resource.get(cand.resource.name)
+            if cur is None or cand.period < cur.period:
+                best_by_resource[cand.resource.name] = cand
+        for name, cand in best_by_resource.items():
+            wan = cand.wan if cand.wan is not None else Wans.LAN_GIGE
+            cfg = CampaignConfig(
+                name=f"a3-race-{name}",
+                platform=cand.resource.platform,
+                wan=wan,
+                n_pes=cand.n_pes,
+                overlapped=True,
+                n_timesteps=6,
+            )
+            periods[name] = run_campaign(cfg).seconds_per_timestep
+        return plan, periods
+
+    plan, periods = once(benchmark, run)
+    chosen = plan.choice.resource.name
+    for name, period in sorted(periods.items(), key=lambda kv: kv[1]):
+        marker = " (planner's pick)" if name == chosen else ""
+        comp.row(
+            f"{name} best placement",
+            "pick must rank first",
+            f"{period:.1f} s/timestep{marker}",
+        )
+    assert periods[chosen] == min(periods.values())

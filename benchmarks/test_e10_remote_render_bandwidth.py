@@ -1,0 +1,64 @@
+"""E10 -- Footnote 3 and the render-remote/render-local contrast.
+
+Paper: "1K by 1K, RGBA images at 30fps requires a sustained transfer
+rate of 960Mbps" for the classic render-remote strategy, while
+Visapult ships only O(n^2) textures ("a typical size is on the order
+of 0.25 to 1.0 megabytes per texture") at the pipeline's update rate.
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.util.units import MB, bytes_per_sec_to_mbps
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e10-bandwidth")
+def test_e10_render_remote_requirement(benchmark, comparison):
+    comp = comparison(
+        "E10", "Footnote 3: render-remote bandwidth requirement"
+    )
+
+    def run():
+        width, height, channels, fps = 1024, 1024, 4, 30
+        return width * height * channels * fps
+
+    rate = once(benchmark, run)
+    comp.row(
+        "1Kx1K RGBA at 30 fps",
+        "960 Mbps sustained",
+        f"{bytes_per_sec_to_mbps(rate):.0f} Mbps",
+    )
+    assert bytes_per_sec_to_mbps(rate) == pytest.approx(960, rel=0.05)
+
+
+@pytest.mark.benchmark(group="e10-bandwidth")
+def test_e10_visapult_viewer_bandwidth(benchmark, comparison):
+    comp = comparison(
+        "E10", "Visapult's viewer-side bandwidth vs render-remote"
+    )
+    result = once(
+        benchmark, run_campaign,
+        CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True),
+    )
+    viewer_rate = result.backend_to_viewer_bytes / result.total_time
+    viewer_mbps = bytes_per_sec_to_mbps(viewer_rate)
+    per_texture = result.backend_to_viewer_bytes / (
+        result.n_frames * result.config.n_pes
+    )
+    comp.row(
+        "texture size per PE per frame",
+        "0.25 - 1.0 MB",
+        f"{per_texture / MB:.2f} MB",
+    )
+    comp.row(
+        "sustained BE->viewer bandwidth",
+        "far below the 960 Mbps of render-remote",
+        f"{viewer_mbps:.1f} Mbps",
+    )
+    comp.row(
+        "ratio to render-remote", "orders of magnitude",
+        f"{960 / viewer_mbps:.0f}x less",
+    )
+    assert 0.20 * MB <= per_texture <= 1.0 * MB
+    assert viewer_mbps < 96.0  # >10x below render-remote

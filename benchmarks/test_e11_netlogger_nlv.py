@@ -1,0 +1,99 @@
+"""E11 -- Tables 1-2 and the NLV figures' structure.
+
+The paper's Figures 10 and 12-17 are NLV lifeline plots over the
+BE_*/V_* event vocabulary. This benchmark regenerates that plot from
+an instrumented run and checks the structural properties the paper
+reads off it: the full tag vocabulary fires, per-frame spans pair up,
+and viewer events trail their back end counterparts.
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.netlogger import (
+    BACKEND_TAGS,
+    VIEWER_TAGS,
+    Tags,
+    lifeline_plot,
+    series_plot,
+)
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e11-netlogger")
+def test_e11_nlv_lifeline_reproduces_figure_structure(
+    benchmark, comparison, capsys
+):
+    comp = comparison(
+        "E11", "NLV lifelines over the Table 1-2 event vocabulary"
+    )
+    result = once(
+        benchmark, run_campaign,
+        CampaignConfig.lan_e4500(overlapped=True, n_timesteps=4),
+    )
+    log = result.event_log
+    plot = lifeline_plot(log, width=100)
+    with capsys.disabled():
+        print()
+        print("Figure 13 analogue (overlapped L+R on the E4500):")
+        print(plot)
+
+    fired = {e.event for e in log.events}
+    comp.row(
+        "back end tags fired",
+        f"{len(BACKEND_TAGS)} (Table 2)",
+        f"{sum(1 for t in BACKEND_TAGS if t in fired)}",
+    )
+    comp.row(
+        "viewer tags fired",
+        f"{len(VIEWER_TAGS)} (Table 1)",
+        f"{sum(1 for t in VIEWER_TAGS if t in fired)}",
+    )
+    n_expected = 4 * result.config.n_pes
+    comp.row(
+        "load spans paired", str(n_expected),
+        str(len(log.load_spans())),
+    )
+    assert all(t in fired for t in BACKEND_TAGS)
+    assert all(t in fired for t in VIEWER_TAGS)
+    assert len(log.load_spans()) == n_expected
+    assert len(log.render_spans()) == n_expected
+    # Both even/odd frame markers appear (the figures' red/blue).
+    assert "o" in plot and "x" in plot
+    for tag in (Tags.BE_LOAD_START, Tags.V_FRAME_END):
+        assert tag in plot
+
+
+@pytest.mark.benchmark(group="e11-netlogger")
+def test_e11_viewer_trails_backend(benchmark, comparison, capsys):
+    comp = comparison(
+        "E11", "Causality: viewer events trail back end events"
+    )
+    result = once(
+        benchmark, run_campaign,
+        CampaignConfig.nton_cplant(n_pes=4, n_timesteps=4),
+    )
+    log = result.event_log
+    violations = 0
+    checked = 0
+    sends = {
+        (e.get("rank"), e.get("frame")): e.ts
+        for e in log.filter(event=Tags.BE_HEAVY_SEND).events
+    }
+    for e in log.filter(event=Tags.V_HEAVYPAYLOAD_END).events:
+        key = (e.get("rank"), e.get("frame"))
+        if key in sends:
+            checked += 1
+            if e.ts < sends[key]:
+                violations += 1
+    series = {
+        "load": sorted(result.per_frame_load.items()),
+        "render": sorted(result.per_frame_render.items()),
+    }
+    with capsys.disabled():
+        print()
+        print(series_plot(series, title="per-frame L and R (seconds)"))
+    comp.row("heavy payloads checked", "all frames x PEs", str(checked))
+    comp.row("causality violations", "0", str(violations))
+    assert checked == 4 * 4
+    assert violations == 0

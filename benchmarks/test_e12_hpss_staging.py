@@ -1,0 +1,106 @@
+"""E12 -- Section 3.5: why data is staged from HPSS into the DPSS.
+
+Paper: "it is impractical to transfer data sets of this magnitude to a
+local disk for processing. Also, archival systems such as the HPSS are
+not typically tuned for wide-area network access, and only provide
+full file, not block level, access to data. The DPSS addresses both of
+these issues ... Therefore, we can migrate the files from HPSS to a
+nearby DPSS cache."
+"""
+
+import pytest
+
+from repro.core.platforms import (
+    DPSS_DISK_RATE,
+    DPSS_DISKS_PER_SERVER,
+    DPSS_SERVER_NIC,
+)
+from repro.dpss import DpssClient, DpssMaster, DpssServer
+from repro.hpss import ArchiveFile, HpssArchive, migrate_to_dpss
+from repro.netsim import Host, Link, Network, TcpParams
+from repro.util.units import GB, MB, mbps
+from benchmarks.conftest import once
+
+
+def build_world(dataset_bytes):
+    net = Network()
+    lan = net.add_link(Link("lan", rate=mbps(1000), latency=0.0002))
+    net.add_host(Host("hpss", nic_rate=mbps(1000)))
+    net.add_host(Host("master", nic_rate=mbps(1000)))
+    net.add_host(Host("compute", nic_rate=mbps(1000)))
+    for a, b in [("hpss", "master"), ("hpss", "compute"),
+                 ("master", "compute")]:
+        net.add_route(a, b, [lan])
+    master = DpssMaster(net.host("master"))
+    for i in range(4):
+        net.add_host(Host(f"server{i}", nic_rate=DPSS_SERVER_NIC))
+        s = DpssServer(net.host(f"server{i}"),
+                       n_disks=DPSS_DISKS_PER_SERVER,
+                       disk_rate=DPSS_DISK_RATE, cache_bytes=0)
+        s.attach(net)
+        master.add_server(s)
+        net.add_route(f"server{i}", "compute", [lan])
+    archive = HpssArchive(net.host("hpss"), mount_latency=30.0,
+                          drive_rate=15 * MB)
+    archive.store(ArchiveFile("combustion-run", size=dataset_bytes))
+    client = DpssClient(net, "compute", master,
+                        tcp_params=TcpParams(slow_start=False))
+    return net, archive, master, client
+
+
+@pytest.mark.benchmark(group="e12-hpss")
+def test_e12_stage_once_then_block_read(benchmark, comparison):
+    comp = comparison(
+        "E12", "HPSS full-file access vs DPSS block-level access"
+    )
+    dataset_bytes = 2 * GB  # a few timesteps' worth
+    slab_bytes = 20 * MB  # one PE's slab of one timestep
+
+    def run():
+        net, archive, master, client = build_world(dataset_bytes)
+        # HPSS cannot serve a slab: a whole-file retrieval is the only
+        # option for any read.
+        hpss_any_read = archive.retrieval_time_estimate("combustion-run")
+        # Stage once into the DPSS...
+        mig = migrate_to_dpss(net, archive, "combustion-run", master)
+        net.run(until=mig)
+        staging = mig.value
+        # ...then block-read just the slab.
+        open_ev = client.open("combustion-run")
+        net.run(until=open_ev)
+        handle = open_ev.value
+        t0 = net.env.now
+        read = client.read(handle, slab_bytes, offset=160 * MB)
+        net.run(until=read)
+        slab_time = net.env.now - t0
+        return hpss_any_read, staging, slab_time
+
+    hpss_any_read, staging, slab_time = once(benchmark, run)
+    comp.row(
+        "any read via HPSS",
+        "whole file only; tape mount + drive rate",
+        f"{hpss_any_read:.0f} s for 2 GB",
+    )
+    comp.row(
+        "one-time staging to DPSS",
+        "paid once per dataset",
+        f"{staging.duration:.0f} s",
+    )
+    comp.row(
+        "slab read from DPSS afterwards",
+        "block-level, seconds",
+        f"{slab_time:.2f} s for 20 MB",
+    )
+    comp.row(
+        "post-staging advantage",
+        "orders of magnitude",
+        f"{hpss_any_read / slab_time:.0f}x",
+    )
+    # A slab through HPSS costs a full-file retrieval; through the
+    # staged DPSS it costs a sub-second block read.
+    assert slab_time < 2.0
+    assert hpss_any_read / slab_time > 50
+    # Staging itself is tape-limited, not network limited.
+    assert staging.duration == pytest.approx(
+        30.0 + dataset_bytes / (15 * MB), rel=0.10
+    )

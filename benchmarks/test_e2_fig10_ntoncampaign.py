@@ -1,0 +1,42 @@
+"""E2 -- Figure 10: the 2000-04-12 Combustion Corridor campaign.
+
+LBL DPSS -> CPlant (4 PEs) over NTON, viewer at SNL-CA. Paper:
+"The time required to load 160 megabytes of data into the back end
+from the DPSS over NTON was approximately three seconds, for an
+approximate throughput rate of 433 megabits per second ... a
+respectable 70% utilization rate ... The software rendering then
+consumed about eight or nine seconds on four processors."
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e2-fig10")
+def test_e2_fig10_first_light_campaign(benchmark, comparison):
+    comp = comparison("E2", "Figure 10: NTON campaign, 4 CPlant PEs, serial")
+    cfg = CampaignConfig.nton_cplant(n_pes=4, overlapped=False)
+    result = once(benchmark, run_campaign, cfg)
+
+    comp.row("load time (160 MB)", "~3 s", f"{result.mean_load:.2f} s")
+    comp.row(
+        "DPSS->BE throughput", "~433 Mbps",
+        f"{result.load_throughput_mbps:.0f} Mbps",
+    )
+    comp.row(
+        "OC-12 utilization", "~70%", f"{result.wan_utilization:.0%}"
+    )
+    comp.row("render time (4 PEs)", "8-9 s", f"{result.mean_render:.2f} s")
+    comp.row(
+        "overlap motivation", "L << R",
+        f"L={result.mean_load:.1f} < R={result.mean_render:.1f}",
+    )
+
+    assert result.mean_load == pytest.approx(3.0, rel=0.15)
+    assert result.load_throughput_mbps == pytest.approx(433, rel=0.10)
+    assert 0.60 <= result.wan_utilization <= 0.80
+    assert 8.0 <= result.mean_render <= 9.5
+    assert result.mean_load < result.mean_render
+    assert result.viewer_frames_complete == cfg.n_timesteps

@@ -1,0 +1,65 @@
+"""E3 -- Figures 12-13: serial vs overlapped on the E4500 over a LAN.
+
+Paper: "These tests were run using an eight processor Sun Microsystems
+E4500 server connected to the LBL DPSS via gigabit ethernet (LAN), and
+were performed using ten timesteps ... The serial implementation
+required approximately 265 seconds, while the overlapped version
+required approximately 169 seconds. In each case, L was approximately
+15 seconds, while R was approximately 12 seconds."
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, overlapped_time, run_campaign, serial_time
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e3-fig12-13")
+def test_e3_fig12_serial(benchmark, comparison):
+    comp = comparison("E3", "Figure 12: E4500 LAN, serial L+R")
+    result = once(
+        benchmark, run_campaign, CampaignConfig.lan_e4500(overlapped=False)
+    )
+    comp.row("total (10 timesteps)", "~265 s", f"{result.total_time:.0f} s")
+    comp.row("L per frame", "~15 s", f"{result.mean_load:.1f} s")
+    comp.row("R per frame", "~12 s", f"{result.mean_render:.1f} s")
+    assert result.total_time == pytest.approx(265, rel=0.08)
+    assert result.mean_load == pytest.approx(15, rel=0.10)
+    assert result.mean_render == pytest.approx(12, rel=0.10)
+
+
+@pytest.mark.benchmark(group="e3-fig12-13")
+def test_e3_fig13_overlapped(benchmark, comparison):
+    comp = comparison("E3", "Figure 13: E4500 LAN, overlapped L+R")
+    result = once(
+        benchmark, run_campaign, CampaignConfig.lan_e4500(overlapped=True)
+    )
+    comp.row("total (10 timesteps)", "~169 s", f"{result.total_time:.0f} s")
+    comp.row("L per frame", "~15 s", f"{result.mean_load:.1f} s")
+    comp.row("R per frame", "~12 s", f"{result.mean_render:.1f} s")
+    assert result.total_time == pytest.approx(169, rel=0.08)
+
+
+@pytest.mark.benchmark(group="e3-fig12-13")
+def test_e3_overlap_speedup_matches_model(benchmark, comparison):
+    comp = comparison(
+        "E3", "Serial/overlapped ratio vs the section 4.3 model"
+    )
+
+    def run():
+        serial = run_campaign(CampaignConfig.lan_e4500(overlapped=False))
+        overlap = run_campaign(CampaignConfig.lan_e4500(overlapped=True))
+        return serial, overlap
+
+    serial, overlap = once(benchmark, run)
+    measured = serial.total_time / overlap.total_time
+    predicted = serial_time(10, serial.mean_load, serial.mean_render) / (
+        overlapped_time(10, serial.mean_load, serial.mean_render)
+    )
+    comp.row(
+        "speedup Ts/To",
+        f"{265 / 169:.2f} (paper numbers)",
+        f"{measured:.2f} (model predicts {predicted:.2f})",
+    )
+    assert measured == pytest.approx(predicted, rel=0.07)
+    assert measured == pytest.approx(265 / 169, rel=0.10)

@@ -1,0 +1,99 @@
+"""E4 -- Figures 14-15: serial vs overlapped on eight CPlant nodes.
+
+Paper: "the time required to load 160 MB of data using eight nodes is
+approximately equal to the time required when using four nodes ... we
+have completely consumed all available network bandwidth. On the other
+hand, rendering time has been reduced to approximately half." And for
+the overlapped run: "the increased time required for data loading, and
+the variability in load times from time step to time step" on
+single-CPU nodes where render and reader share the CPU.
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e4-fig14-15")
+def test_e4_fig14_network_saturation(benchmark, comparison):
+    comp = comparison(
+        "E4", "Figure 14: 4 vs 8 CPlant nodes, serial (NTON saturated)"
+    )
+
+    def run():
+        four = run_campaign(
+            CampaignConfig.nton_cplant(n_pes=4, viewer_remote=True)
+        )
+        eight = run_campaign(
+            CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True)
+        )
+        return four, eight
+
+    four, eight = once(benchmark, run)
+    comp.row(
+        "load, 4 nodes vs 8 nodes",
+        "approximately equal",
+        f"{four.mean_load:.2f} s vs {eight.mean_load:.2f} s",
+    )
+    comp.row(
+        "render, 4 nodes vs 8 nodes",
+        "halves",
+        f"{four.mean_render:.2f} s vs {eight.mean_render:.2f} s",
+    )
+    comp.row(
+        "WAN at both scales",
+        "fully consumed",
+        f"{four.load_throughput_mbps:.0f} / "
+        f"{eight.load_throughput_mbps:.0f} Mbps",
+    )
+    # Loads within 10% of each other despite 2x the NICs.
+    assert eight.mean_load == pytest.approx(four.mean_load, rel=0.10)
+    # Render halves (within 15%).
+    assert eight.mean_render == pytest.approx(
+        four.mean_render / 2.0, rel=0.15
+    )
+    assert eight.load_throughput_mbps == pytest.approx(433, rel=0.10)
+
+
+@pytest.mark.benchmark(group="e4-fig14-15")
+def test_e4_fig15_overlapped_contention(benchmark, comparison):
+    comp = comparison(
+        "E4",
+        "Figure 15: overlapped on 8 single-CPU nodes (CPU contention)",
+    )
+
+    def run():
+        serial = run_campaign(
+            CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True)
+        )
+        overlap = run_campaign(
+            CampaignConfig.nton_cplant(
+                n_pes=8, overlapped=True, viewer_remote=True
+            )
+        )
+        return serial, overlap
+
+    serial, overlap = once(benchmark, run)
+    comp.row(
+        "overlapped load time",
+        "slightly higher than serial",
+        f"{overlap.mean_load:.2f} s vs {serial.mean_load:.2f} s serial",
+    )
+    comp.row(
+        "load variability",
+        "visible frame-to-frame",
+        f"std {overlap.std_load:.2f} s vs {serial.std_load:.2f} s serial",
+    )
+    comp.row(
+        "total time",
+        "overlapped still wins",
+        f"{overlap.total_time:.0f} s vs {serial.total_time:.0f} s",
+    )
+    # Load inflation: higher than serial, but not absurd.
+    assert overlap.mean_load > serial.mean_load * 1.05
+    assert overlap.mean_load < serial.mean_load * 2.5
+    # Variability appears only in the overlapped run.
+    assert overlap.std_load > serial.std_load + 0.05
+    # Overlap still pays off overall.
+    assert overlap.total_time < serial.total_time

@@ -1,0 +1,59 @@
+"""E6 -- Section 4.1: the SC99 research exhibit.
+
+Paper: "We were capable of sustaining a data transfer rate of 250Mbps
+between the DPSS located at LBL and CPlant, and a rate of 150Mbps
+between the DPSS at LBL and the LBL cluster at SC99. The difference in
+transfer rates was based upon the different network topologies."
+Also: "the majority of communication was between the DPSS ... and the
+Visapult back end, with the link between the Visapult back end and
+viewer requiring much less bandwidth."
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e6-sc99")
+def test_e6_sc99_transfer_rates(benchmark, comparison):
+    comp = comparison("E6", "SC99: NTON vs shared SciNet paths")
+
+    def run():
+        nton = run_campaign(CampaignConfig.sc99_cosmology())
+        scinet = run_campaign(CampaignConfig.sc99_showfloor())
+        return nton, scinet
+
+    nton, scinet = once(benchmark, run)
+    comp.row(
+        "DPSS -> CPlant over NTON", "250 Mbps",
+        f"{nton.load_throughput_mbps:.0f} Mbps",
+    )
+    comp.row(
+        "DPSS -> show floor over SciNet", "150 Mbps",
+        f"{scinet.load_throughput_mbps:.0f} Mbps",
+    )
+    assert nton.load_throughput_mbps == pytest.approx(250, rel=0.10)
+    assert scinet.load_throughput_mbps == pytest.approx(150, rel=0.10)
+    assert nton.load_throughput_mbps > scinet.load_throughput_mbps
+
+
+@pytest.mark.benchmark(group="e6-sc99")
+def test_e6_traffic_asymmetry(benchmark, comparison):
+    comp = comparison(
+        "E6", "Traffic asymmetry: DPSS->BE dwarfs BE->viewer"
+    )
+    result = once(benchmark, run_campaign, CampaignConfig.sc99_cosmology())
+    comp.row(
+        "DPSS->BE bytes", "majority of communication",
+        f"{result.dpss_to_backend_bytes / 1e9:.2f} GB",
+    )
+    comp.row(
+        "BE->viewer bytes", "much less bandwidth",
+        f"{result.backend_to_viewer_bytes / 1e6:.1f} MB",
+    )
+    comp.row(
+        "ratio", ">> 1", f"{result.traffic_asymmetry:.0f}x",
+        "O(n^3) in vs O(n^2) out",
+    )
+    assert result.traffic_asymmetry > 20

@@ -1,0 +1,110 @@
+"""E7 -- Section 4.3: the analytic overlap model vs simulation.
+
+Paper: "Ts = N x (L + R) ... To = N x max(L, R) + min(L, R) ... the
+theoretical speedup ... is Ts/To, or 2N/(N+1), which is nearly a 100
+percent improvement. As the difference between L and R increases, the
+effective speedup resulting from an overlapped implementation will
+diminish."
+"""
+
+import pytest
+
+from repro.core import (
+    CampaignConfig,
+    overlap_speedup,
+    run_campaign,
+    theoretical_speedup_limit,
+)
+from repro.core.platforms import PlatformSpec, Platforms
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e7-model")
+def test_e7_speedup_approaches_2n_over_n_plus_1(benchmark, comparison):
+    comp = comparison(
+        "E7", "Speedup limit 2N/(N+1) when L == R (balanced pipeline)"
+    )
+
+    def run():
+        # Tune the render rate so R ~= L on the E4500 (L ~= 15 s).
+        slab_voxels = 640 * 256 * 256 / 8
+        balanced = PlatformSpec(
+            name="e4500-balanced",
+            cluster=False,
+            nic_rate=Platforms.E4500.nic_rate,
+            n_cpus=8,
+            render_voxels_per_sec=slab_voxels / 15.0,
+        )
+        results = {}
+        for n in (2, 5, 10):
+            serial = run_campaign(
+                CampaignConfig.lan_e4500(
+                    overlapped=False, n_timesteps=n
+                ).with_changes(platform=balanced)
+            )
+            overlap = run_campaign(
+                CampaignConfig.lan_e4500(
+                    overlapped=True, n_timesteps=n
+                ).with_changes(platform=balanced)
+            )
+            results[n] = serial.total_time / overlap.total_time
+        return results
+
+    results = once(benchmark, run)
+    for n, measured in sorted(results.items()):
+        limit = theoretical_speedup_limit(n)
+        comp.row(
+            f"N={n}", f"2N/(N+1) = {limit:.3f}", f"{measured:.3f}"
+        )
+        assert measured == pytest.approx(limit, rel=0.06)
+    # Speedup grows with N toward 2.
+    assert results[2] < results[5] < results[10] < 2.0
+
+
+@pytest.mark.benchmark(group="e7-model")
+def test_e7_speedup_diminishes_with_imbalance(benchmark, comparison):
+    comp = comparison(
+        "E7", "Speedup diminishes as L and R diverge"
+    )
+
+    def run():
+        slab_voxels = 640 * 256 * 256 / 8
+        out = []
+        # Sweep render speed so R goes from ~L to ~L/8.
+        for r_target in (15.0, 7.5, 2.0):
+            platform = PlatformSpec(
+                name=f"e4500-r{r_target}",
+                cluster=False,
+                nic_rate=Platforms.E4500.nic_rate,
+                n_cpus=8,
+                render_voxels_per_sec=slab_voxels / r_target,
+            )
+            serial = run_campaign(
+                CampaignConfig.lan_e4500(
+                    overlapped=False, n_timesteps=5
+                ).with_changes(platform=platform)
+            )
+            overlap = run_campaign(
+                CampaignConfig.lan_e4500(
+                    overlapped=True, n_timesteps=5
+                ).with_changes(platform=platform)
+            )
+            measured = serial.total_time / overlap.total_time
+            predicted = overlap_speedup(
+                5, serial.mean_load, serial.mean_render
+            )
+            out.append((r_target, measured, predicted))
+        return out
+
+    rows = once(benchmark, run)
+    speedups = []
+    for r_target, measured, predicted in rows:
+        comp.row(
+            f"R ~= {r_target:.1f} s (L ~= 15 s)",
+            f"model {predicted:.2f}",
+            f"{measured:.2f}",
+        )
+        assert measured == pytest.approx(predicted, rel=0.08)
+        speedups.append(measured)
+    assert speedups[0] > speedups[1] > speedups[2]
+    assert speedups[2] < 1.25  # strongly imbalanced: barely any gain

@@ -1,0 +1,91 @@
+"""E8 -- Section 5: the terascale dataset-transfer arithmetic.
+
+Paper: "the time required to move our 265-timestep dataset (a total of
+41.4 gigabytes) over NTON is on the order of eight minutes (a new
+timestep every 3 seconds), while over ESnet, the time required is on
+the order of 44 minutes (a new timestep every 10 seconds). A
+reasonable target rate would be, for this problem, five timesteps per
+second, requiring effective bandwidth on the order of fifteen times
+faster than our OC12 connection to NTON; approximately a dedicated
+OC192 link."
+"""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign, transfer_time
+from repro.util.units import GB, OC12, OC192, bytes_per_sec_to_mbps
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="e8-terascale")
+def test_e8_full_dataset_transfer_times(benchmark, comparison):
+    comp = comparison(
+        "E8", "Moving the 41.4 GB, 265-timestep dataset end to end"
+    )
+
+    def run():
+        # Measure the sustained per-timestep *data movement* time on
+        # both paths from short instrumented runs, then project the
+        # full 265-step sweep as the paper does ("the time required to
+        # move our 265-timestep dataset").
+        nton = run_campaign(
+            CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True)
+        )
+        esnet = run_campaign(
+            CampaignConfig.esnet_anl_smp(overlapped=False)
+        )
+        return nton, esnet
+
+    nton, esnet = once(benchmark, run)
+    nton_total_min = 265 * nton.mean_load / 60.0
+    esnet_total_min = 265 * esnet.mean_load / 60.0
+    comp.row(
+        "NTON per-timestep move", "~3 s", f"{nton.mean_load:.1f} s"
+    )
+    comp.row(
+        "ESnet per-timestep move", "~10 s", f"{esnet.mean_load:.1f} s"
+    )
+    comp.row(
+        "NTON full sweep",
+        "order of 8 min (their 3 s/step implies 13.3)",
+        f"{nton_total_min:.0f} min",
+    )
+    comp.row(
+        "ESnet full sweep", "~44 min", f"{esnet_total_min:.0f} min"
+    )
+    assert nton.mean_load == pytest.approx(3.0, rel=0.15)
+    assert esnet.mean_load == pytest.approx(10.0, rel=0.15)
+    # ESnet ~3-4x slower than NTON end to end.
+    assert 2.5 < esnet_total_min / nton_total_min < 4.5
+    assert esnet_total_min == pytest.approx(44.0, rel=0.15)
+
+
+@pytest.mark.benchmark(group="e8-terascale")
+def test_e8_interactive_target_needs_oc192(benchmark, comparison):
+    comp = comparison(
+        "E8", "Five timesteps/second needs ~a dedicated OC-192"
+    )
+
+    def run():
+        dataset = 41.4 * GB
+        per_step = dataset / 265.0
+        required_rate = per_step * 5.0  # five timesteps per second
+        return dataset, required_rate
+
+    dataset, required = once(benchmark, run)
+    comp.row(
+        "required bandwidth",
+        "~15x the OC-12, i.e. ~OC-192",
+        f"{bytes_per_sec_to_mbps(required):.0f} Mbps "
+        f"({required / OC12:.1f}x OC-12)",
+    )
+    comp.row(
+        "transfer time at that rate",
+        "265 steps / 5 per sec = 53 s",
+        f"{transfer_time(dataset, required):.0f} s",
+    )
+    # "fifteen times faster than our OC12": we computed vs the line
+    # rate; the paper compares vs achieved 433 Mbps (~14.4x).
+    achieved_nton = OC12 * 0.70
+    assert required / achieved_nton == pytest.approx(14.4, rel=0.15)
+    assert 0.5 * OC192 <= required <= 1.2 * OC192

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The Combustion Corridor campaigns, end to end (sections 4.2-4.4).
+
+Reruns every instrumented WAN campaign the paper reports at full
+dataset scale (640x256x256 floats = 160 MB/timestep) on the simulator,
+prints the per-campaign summaries, and renders the NLV lifeline for
+the overlapped E4500 run -- the reproduction of Figures 10 and 12-17
+in one script.
+
+Run with::
+
+    python examples/combustion_corridor.py
+"""
+
+from repro.core import (
+    CampaignConfig,
+    overlapped_time,
+    run_campaign,
+    serial_time,
+)
+from repro.netlogger import lifeline_plot
+
+
+CAMPAIGNS = [
+    ("Figure 10  - April 2000 NTON campaign (4 CPlant PEs, serial)",
+     CampaignConfig.nton_cplant(n_pes=4, overlapped=False)),
+    ("Figure 12  - E4500 over the LAN, serial",
+     CampaignConfig.lan_e4500(overlapped=False)),
+    ("Figure 13  - E4500 over the LAN, overlapped",
+     CampaignConfig.lan_e4500(overlapped=True)),
+    ("Figure 14  - 8 CPlant nodes over NTON, serial",
+     CampaignConfig.nton_cplant(n_pes=8, viewer_remote=True)),
+    ("Figure 15  - 8 CPlant nodes over NTON, overlapped",
+     CampaignConfig.nton_cplant(n_pes=8, overlapped=True,
+                                viewer_remote=True)),
+    ("Figure 16  - ANL Onyx2 over ESnet, serial",
+     CampaignConfig.esnet_anl_smp(overlapped=False)),
+    ("Figure 17  - ANL Onyx2 over ESnet, overlapped",
+     CampaignConfig.esnet_anl_smp(overlapped=True)),
+]
+
+
+def main() -> None:
+    results = {}
+    for title, cfg in CAMPAIGNS:
+        result = run_campaign(cfg)
+        results[title] = result
+        print(title)
+        print(result.summary())
+        print()
+
+    # The section 4.3 model, fed with the measured E4500 L and R.
+    serial = results["Figure 12  - E4500 over the LAN, serial"]
+    overlap = results["Figure 13  - E4500 over the LAN, overlapped"]
+    n = serial.n_frames
+    ts = serial_time(n, serial.mean_load, serial.mean_render)
+    to = overlapped_time(n, serial.mean_load, serial.mean_render)
+    print("Section 4.3 analytic model vs simulation:")
+    print(f"  Ts = N(L+R)          = {ts:.0f} s "
+          f"(simulated {serial.total_time:.0f} s, paper ~265 s)")
+    print(f"  To = N max + min     = {to:.0f} s "
+          f"(simulated {overlap.total_time:.0f} s, paper ~169 s)")
+    print(f"  speedup Ts/To        = {ts / to:.2f} "
+          f"(simulated {serial.total_time / overlap.total_time:.2f})")
+    print()
+
+    print("NLV lifeline of the overlapped E4500 run "
+          "(compare with Figure 13):")
+    print(lifeline_plot(overlap.event_log, width=100))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Automated corridor session planning (section 5's future work, built).
+
+A scientist asks: "visualize ``combustion-640``; I'm sitting at
+SNL-CA." The corridor planner knows the year-2000 testbed (LBL's DPSS,
+CPlant at SNL, the Onyx2 at ANL, the E4500 at LBL, NTON and ESnet),
+predicts the pipeline period of every placement using the section 4.3
+model, picks the winner, and runs it -- no routing tables, no
+topology knowledge required of the user.
+
+Run with::
+
+    python examples/corridor_planner.py
+"""
+
+from repro.corridor import CorridorMap, SessionRequest, run_session
+from repro.datagen import TimeSeriesMeta
+
+
+def main() -> None:
+    cmap = CorridorMap.year_2000_testbed()
+    meta = TimeSeriesMeta(
+        name="combustion-640", shape=(640, 256, 256), n_timesteps=265
+    )
+
+    for viewer_site in ("snl", "anl"):
+        request = SessionRequest(
+            dataset="combustion-640",
+            meta=meta,
+            viewer_site=viewer_site,
+            n_timesteps=6,
+            overlapped=True,
+        )
+        plan, result = run_session(cmap, request)
+        print(plan.summary())
+        print()
+        print("ran the chosen placement:")
+        print(result.summary())
+        print("-" * 72)
+
+
+if __name__ == "__main__":
+    main()

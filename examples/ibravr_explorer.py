@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Explore IBRAVR image quality versus view angle (Figure 6).
+
+Renders the same combusting volume three ways at a sweep of view
+angles -- ground-truth ray casting, IBRAVR with slabs pinned to the X
+axis, and IBRAVR with Visapult's per-frame axis switching -- writes
+the images as PPM files, and prints the RMS error curve that
+quantifies the "sixteen degree cone" observation.
+
+Run with::
+
+    python examples/ibravr_explorer.py
+"""
+
+from repro.datagen import CombustionConfig, combustion_field
+from repro.ibravr import artifact_sweep
+from repro.ibravr.artifacts import (
+    _render_ibravr_frame,
+    ground_truth_frame,
+)
+from repro.netlogger import series_plot
+from repro.scenegraph import Camera
+from repro.util.image import save_ppm
+from repro.volren import TransferFunction
+
+
+def main() -> None:
+    volume = combustion_field(
+        0.0,
+        CombustionConfig(shape=(64, 64, 64), n_kernels=4,
+                         front_sharpness=10.0),
+    )
+    tf = TransferFunction.opaque_fire()
+    size = 160
+
+    print("Rendering comparison images (PPM files) ...")
+    for angle in (0.0, 16.0, 45.0):
+        camera = Camera.orbit(angle, 0.0)
+        gt = ground_truth_frame(volume, tf, camera, size, size)
+        ibr, _ = _render_ibravr_frame(
+            volume, tf, camera, 8, size, size, axis_switching=False
+        )
+        save_ppm(f"ibravr_gt_{angle:.0f}deg.ppm", gt)
+        save_ppm(f"ibravr_pinned_{angle:.0f}deg.ppm", ibr)
+        print(f"  wrote ground truth + pinned-axis IBRAVR at {angle:.0f} deg")
+
+    angles = [0.0, 4.0, 8.0, 12.0, 16.0, 22.0, 30.0, 38.0, 45.0]
+    print("\nRMS error sweep (slabs pinned to the X axis):")
+    pinned = artifact_sweep(volume, tf, angles, n_slabs=8, image_size=96)
+    switched = artifact_sweep(
+        volume, tf, [45.0, 60.0, 80.0, 90.0], n_slabs=8, image_size=96,
+        axis_switching=True,
+    )
+    for s in pinned:
+        marker = "  <-- ~16 deg cone edge" if s.angle_deg == 16.0 else ""
+        print(f"  {s.angle_deg:5.1f} deg : rms {s.rms_error:.4f}{marker}")
+    print("\nWith Visapult's axis switching, far-off-axis views recover:")
+    for s in switched:
+        print(
+            f"  {s.angle_deg:5.1f} deg : rms {s.rms_error:.4f} "
+            f"(slabs re-cut along axis {s.slab_axis})"
+        )
+
+    print()
+    print(series_plot(
+        {
+            "pinned": [(s.angle_deg, s.rms_error) for s in pinned],
+            "switched": [(s.angle_deg, s.rms_error) for s in switched],
+        },
+        title="IBRAVR error vs view angle (Figure 6, quantified)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""PE-count scaling study (the section 4.4.1 observation, swept).
+
+"Note that the time required to load 160 MB of data using eight nodes
+is approximately equal to the time required when using four nodes.
+From this, we observe that the use of additional nodes will not
+necessarily improve data throughput, as we have completely consumed
+all available network bandwidth. On the other hand, rendering time has
+been reduced." This script sweeps the CPlant PE count over NTON and
+plots where each resource saturates.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from repro.core import CampaignConfig, run_campaign
+from repro.netlogger import series_plot
+
+
+def main() -> None:
+    pe_counts = [1, 2, 4, 8, 16]
+    loads, renders, periods = [], [], []
+    print("PEs  load(s)  render(s)  period(s)  DPSS->BE(Mbps)")
+    for n in pe_counts:
+        cfg = CampaignConfig.nton_cplant(
+            n_pes=n, overlapped=False, viewer_remote=True, n_timesteps=5
+        )
+        result = run_campaign(cfg)
+        loads.append((n, result.mean_load))
+        renders.append((n, result.mean_render))
+        periods.append((n, result.seconds_per_timestep))
+        print(
+            f"{n:3d}  {result.mean_load:7.2f}  {result.mean_render:9.2f}"
+            f"  {result.seconds_per_timestep:9.2f}"
+            f"  {result.load_throughput_mbps:14.0f}"
+        )
+
+    print()
+    print(series_plot(
+        {"load": loads, "render": renders, "frame period": periods},
+        title="CPlant over NTON: per-frame times vs PE count",
+        width=64, height=14,
+    ))
+    print()
+    print("Reading the curves:")
+    print(" - render time keeps falling (object-order slabs scale);")
+    print(" - load time flattens once the OC-12 is saturated (~4 PEs):")
+    print("   'additional nodes will not necessarily improve data")
+    print("   throughput';")
+    print(" - the frame period follows whichever stage dominates, which")
+    print("   is why the paper moved to the overlapped pipeline.")
+
+
+if __name__ == "__main__":
+    main()

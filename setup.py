@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose pip cannot build PEP-660 editable wheels
+(no ``wheel`` package available); pip falls back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

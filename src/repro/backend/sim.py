@@ -1,0 +1,456 @@
+"""Simulated Visapult back end: PEs, serial and overlapped modes.
+
+Each PE is a simulation process that, per timestep, reads its slab
+from the DPSS, volume renders it (CPU time from the calibrated
+:class:`~repro.volren.renderer.RenderCostModel`), and ships a light
+(metadata) plus heavy (texture) payload to the viewer.
+
+The **overlapped** mode is a line-for-line port of Appendix B: each
+PE's render process launches a detached reader process; a pair of
+semaphores (A: "reader may proceed", B: "data ready") hands frames
+across a double buffer, and "while the data for frame N is being
+rendered, data for frame N+1 is being loaded."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.dpss.client import DpssClient
+from repro.netlogger.events import Tags
+from repro.netlogger.logger import NetLogger
+from repro.netsim.tcp import TcpParams
+from repro.simcore.fluid import FluidResource, FluidTask
+from repro.simcore.sync import SimBarrier, SimSemaphore
+from repro.util.rng import spawn_rngs
+from repro.volren.decomposition import slab_decompose
+from repro.volren.renderer import RenderCostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datagen.timeseries import TimeSeriesMeta
+    from repro.dpss.master import DpssMaster
+    from repro.netsim.host import Host
+    from repro.netsim.topology import Network
+    from repro.netlogger.daemon import NetLogDaemon
+    from repro.viewer.sim import SimViewer
+
+_EXIT = -1
+
+
+@dataclass
+class BackEndTiming:
+    """Aggregate timings measured by a back end run."""
+
+    n_timesteps: int = 0
+    n_pes: int = 0
+    total_time: float = 0.0
+    bytes_loaded: float = 0.0
+    bytes_sent_to_viewer: float = 0.0
+    per_pe_load_seconds: Dict[int, float] = field(default_factory=dict)
+    per_pe_render_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def load_throughput(self) -> float:
+        """Aggregate DPSS->back end goodput in bytes/second."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.bytes_loaded / self.total_time
+
+
+class SimBackEnd:
+    """A parallel back end bound to one campaign's infrastructure.
+
+    ``pe_hosts`` has one entry per PE; entries may repeat for SMP
+    platforms (several PEs on one host share its NIC and CPU pool,
+    which is exactly the paper's SMP-vs-cluster distinction).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        pe_hosts: List["Host"],
+        master: "DpssMaster",
+        dataset_name: str,
+        viewer: "SimViewer",
+        meta: "TimeSeriesMeta",
+        *,
+        daemon: "NetLogDaemon",
+        render_cost: Optional[RenderCostModel] = None,
+        n_timesteps: Optional[int] = None,
+        overlapped: bool = False,
+        #: Appendix B's rejected alternative: "even-numbered processes
+        #: would render, while odd-numbered processes would read data"
+        #: -- half the PEs become readers and the raw slab data must be
+        #: transmitted between processes.
+        mpi_only_overlap: bool = False,
+        interconnect_rate: float = 100e6,
+        axis: int = 0,
+        overlap_render_share: float = 1.0,
+        overlap_ingest_factor: float = 1.0,
+        load_jitter_cv: float = 0.0,
+        #: AMR grid line geometry shipped with rank 0's heavy payload:
+        #: "typically tens of kilobytes for the AMR grid data per
+        #: timestep" (Table 1). None scales with the dataset (capped
+        #: at 30 KB for paper-sized timesteps).
+        geometry_bytes_per_frame: Optional[float] = None,
+        tcp_params: Optional[TcpParams] = None,
+        seed: int = 0,
+    ):
+        if not pe_hosts:
+            raise ValueError("need at least one PE")
+        if not 0 < overlap_render_share <= 1.0:
+            raise ValueError("overlap_render_share must be in (0, 1]")
+        if not 0 < overlap_ingest_factor <= 1.0:
+            raise ValueError("overlap_ingest_factor must be in (0, 1]")
+        self.network = network
+        self.pe_hosts = list(pe_hosts)
+        self.master = master
+        self.dataset_name = dataset_name
+        self.viewer = viewer
+        self.meta = meta
+        self.daemon = daemon
+        self.render_cost = (
+            render_cost if render_cost is not None else RenderCostModel()
+        )
+        self.n_timesteps = (
+            n_timesteps if n_timesteps is not None else meta.n_timesteps
+        )
+        if not 1 <= self.n_timesteps <= meta.n_timesteps:
+            raise ValueError(
+                f"n_timesteps {self.n_timesteps} outside "
+                f"[1, {meta.n_timesteps}]"
+            )
+        self.overlapped = overlapped
+        self.mpi_only_overlap = mpi_only_overlap
+        if mpi_only_overlap:
+            if overlapped:
+                raise ValueError(
+                    "mpi_only_overlap and overlapped are exclusive modes"
+                )
+            if len(pe_hosts) % 2 != 0:
+                raise ValueError(
+                    "mpi_only_overlap pairs ranks; need an even PE count"
+                )
+        if interconnect_rate <= 0:
+            raise ValueError("interconnect_rate must be > 0")
+        self.interconnect_rate = float(interconnect_rate)
+        self.overlap_render_share = overlap_render_share
+        self.overlap_ingest_factor = overlap_ingest_factor
+        self.load_jitter_cv = load_jitter_cv
+        if geometry_bytes_per_frame is None:
+            geometry_bytes_per_frame = min(
+                30e3, 0.02 * meta.bytes_per_timestep
+            )
+        if geometry_bytes_per_frame < 0:
+            raise ValueError("geometry_bytes_per_frame must be >= 0")
+        self.geometry_bytes_per_frame = float(geometry_bytes_per_frame)
+        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
+        self.seed = seed
+
+        self.n_pes = len(self.pe_hosts)
+        # MPI-only overlap halves the render parallelism: odd ranks
+        # only read, so the volume is cut into n/2 slabs.
+        self.n_render_pes = (
+            self.n_pes // 2 if mpi_only_overlap else self.n_pes
+        )
+        self.subvolumes = slab_decompose(
+            meta.shape, self.n_render_pes, axis=axis
+        )
+        self._interconnect: Optional[FluidResource] = None
+        self.timing = BackEndTiming(
+            n_timesteps=self.n_timesteps, n_pes=self.n_pes
+        )
+        self._itemsize = meta.bytes_per_timestep / meta.n_voxels
+        self._rngs = spawn_rngs(seed, self.n_pes)
+        self._barrier = SimBarrier(network.env, self.n_render_pes)
+        self._loggers = [
+            NetLogger(
+                host.name,
+                f"backend-{rank}",
+                clock=lambda: network.env.now,
+                daemon=daemon,
+            )
+            for rank, host in enumerate(self.pe_hosts)
+        ]
+        for rank in range(self.n_render_pes):
+            viewer.register_pe(rank, self.pe_hosts[rank].name)
+
+    # -- geometry helpers ------------------------------------------------
+    def slab_bytes(self, rank: int) -> float:
+        """Bytes of raw data a PE loads per timestep."""
+        return self.subvolumes[rank].n_voxels * self._itemsize
+
+    def slab_offset(self, rank: int, frame: int) -> float:
+        """Dataset byte offset of a PE's slab within a timestep.
+
+        Slabs cut the slowest-varying axis, so each slab is one
+        contiguous range -- the DPSS block-level access pattern.
+        """
+        sub = self.subvolumes[rank]
+        row_bytes = (
+            self.meta.shape[1] * self.meta.shape[2] * self._itemsize
+        )
+        return frame * self.meta.bytes_per_timestep + sub.lo[0] * row_bytes
+
+    def texture_bytes(self, rank: int) -> float:
+        """Wire size of a PE's slab texture (RGBA8 over the two
+        non-slab axes): the O(n^2) heavy payload."""
+        shape = self.subvolumes[rank].shape
+        return float(shape[1] * shape[2] * 4)
+
+    def render_cpu_seconds(self, rank: int) -> float:
+        """Reference-CPU seconds to render one slab."""
+        return self.render_cost.cpu_seconds(self.subvolumes[rank].n_voxels)
+
+    # -- execution ---------------------------------------------------------
+    def run(self):
+        """Event that fires when every PE has processed every frame."""
+        env = self.network.env
+        start = env.now
+        if self.overlapped and self.overlap_ingest_factor < 1.0:
+            # Cluster nodes: the reader thread shares the single CPU
+            # with the render process; NIC servicing degrades for the
+            # whole run (Figure 15 discussion).
+            for host in set(self.pe_hosts):
+                self.network.sched.set_capacity(
+                    host.nic, host.nic_rate * self.overlap_ingest_factor
+                )
+        if self.mpi_only_overlap:
+            # One fluid resource stands in for the message-passing
+            # fabric; pair transfers share it max-min.
+            self._interconnect = FluidResource(
+                f"interconnect:{id(self)}",
+                self.interconnect_rate * self.n_render_pes,
+            )
+            self.network.sched.add_resource(self._interconnect)
+            procs = [
+                env.process(self._pe_mpi_pair(rank))
+                for rank in range(self.n_render_pes)
+            ]
+        else:
+            procs = [
+                env.process(self._pe_proc(rank))
+                for rank in range(self.n_pes)
+            ]
+        done = env.all_of(procs)
+
+        def finish():
+            yield done
+            self.timing.total_time = env.now - start
+            return self.timing
+
+        return env.process(finish())
+
+    # -- per-PE processes ----------------------------------------------------
+    def _pe_proc(self, rank: int):
+        if self.overlapped:
+            result = yield self.network.env.process(
+                self._pe_overlapped(rank)
+            )
+        else:
+            result = yield self.network.env.process(self._pe_serial(rank))
+        return result
+
+    def _open_client(self, rank: int):
+        client = DpssClient(
+            self.network,
+            self.pe_hosts[rank].name,
+            self.master,
+            tcp_params=self.tcp_params,
+        )
+        open_ev = client.open(self.dataset_name)
+        return client, open_ev
+
+    def _load(self, rank: int, client, handle, frame: int, log: NetLogger):
+        """Read one slab (generator; yields until loaded)."""
+        env = self.network.env
+        rng = self._rngs[rank]
+        log.log(Tags.BE_LOAD_START, frame=frame, rank=rank)
+        if self.load_jitter_cv > 0:
+            # Staggered outbound-send completions delay servicing of
+            # the inbound stream (the load-time variability visible in
+            # Figure 15).
+            yield env.timeout(float(rng.exponential(self.load_jitter_cv)))
+        stats = yield client.read(
+            handle,
+            self.slab_bytes(rank),
+            offset=self.slab_offset(rank, frame),
+            label=f"load[{rank}]",
+        )
+        log.log(Tags.BE_LOAD_END, frame=frame, rank=rank)
+        self.timing.bytes_loaded += stats.nbytes
+        self.timing.per_pe_load_seconds[rank] = (
+            self.timing.per_pe_load_seconds.get(rank, 0.0) + stats.duration
+        )
+        return stats
+
+    def _render(self, rank: int, frame: int, log: NetLogger):
+        env = self.network.env
+        rng = self._rngs[rank]
+        host = self.pe_hosts[rank]
+        share = (
+            self.overlap_render_share if self.overlapped else 1.0
+        )
+        cpu = self.render_cpu_seconds(rank)
+        if self.load_jitter_cv > 0:
+            # Render variability is milder than load variability.
+            cpu *= 1.0 + (self.load_jitter_cv / 3.0) * abs(float(rng.normal()))
+        log.log(Tags.BE_RENDER_START, frame=frame, rank=rank)
+        t0 = env.now
+        yield host.compute(cpu, label=f"render[{rank}]", share=share)
+        log.log(Tags.BE_RENDER_END, frame=frame, rank=rank)
+        self.timing.per_pe_render_seconds[rank] = (
+            self.timing.per_pe_render_seconds.get(rank, 0.0)
+            + (env.now - t0)
+        )
+
+    def _send_results(self, rank: int, frame: int, log: NetLogger):
+        log.log(Tags.BE_LIGHT_SEND, frame=frame, rank=rank)
+        yield self.viewer.deliver_light(rank, frame)
+        log.log(Tags.BE_LIGHT_END, frame=frame, rank=rank)
+        log.log(Tags.BE_HEAVY_SEND, frame=frame, rank=rank)
+        nbytes = self.texture_bytes(rank)
+        if rank == 0:
+            # Rank 0 carries the AMR grid geometry for the frame.
+            nbytes += self.geometry_bytes_per_frame
+        yield self.viewer.deliver_heavy(rank, frame, nbytes)
+        log.log(Tags.BE_HEAVY_END, frame=frame, rank=rank)
+        self.timing.bytes_sent_to_viewer += nbytes + self.viewer.light_bytes
+
+    def _pe_serial(self, rank: int):
+        """Figure 18's serial loop: load, render, send, barrier."""
+        log = self._loggers[rank]
+        client, open_ev = self._open_client(rank)
+        handle = yield open_ev
+        for frame in range(self.n_timesteps):
+            log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
+            yield self.network.env.process(
+                self._load(rank, client, handle, frame, log)
+            )
+            yield self.network.env.process(self._render(rank, frame, log))
+            yield self.network.env.process(
+                self._send_results(rank, frame, log)
+            )
+            log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
+            yield self._barrier.wait()
+        return rank
+
+    def _pe_overlapped(self, rank: int):
+        """Appendix B: detached reader + semaphore pair + double buffer."""
+        env = self.network.env
+        log = self._loggers[rank]
+        client, open_ev = self._open_client(rank)
+        handle = yield open_ev
+
+        sem_a = SimSemaphore(env)  # render -> reader: "go read"
+        sem_b = SimSemaphore(env)  # reader -> render: "data ready"
+        control = {"cmd": _EXIT}
+
+        def reader():
+            while True:
+                yield sem_a.wait()
+                cmd = control["cmd"]
+                if cmd == _EXIT:
+                    return
+                yield env.process(
+                    self._load(rank, client, handle, cmd, log)
+                )
+                sem_b.post()
+
+        reader_proc = env.process(reader())
+
+        # Prime the pipeline: request frame 0 and wait for it.
+        control["cmd"] = 0
+        sem_a.post()
+        yield sem_b.wait()
+
+        for frame in range(self.n_timesteps):
+            log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
+            if frame + 1 < self.n_timesteps:
+                # Request frame N+1 before rendering frame N; the
+                # double buffer's even/odd halves keep them disjoint.
+                control["cmd"] = frame + 1
+                sem_a.post()
+            yield env.process(self._render(rank, frame, log))
+            yield env.process(self._send_results(rank, frame, log))
+            log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
+            if frame + 1 < self.n_timesteps:
+                yield sem_b.wait()
+        control["cmd"] = _EXIT
+        sem_a.post()
+        yield reader_proc
+        yield self._barrier.wait()
+        return rank
+
+    def _pe_mpi_pair(self, rank: int):
+        """Appendix B's MPI-only alternative for one render/reader pair.
+
+        Render rank ``rank`` runs on ``pe_hosts[rank]``; its partner
+        reader rank runs on ``pe_hosts[n_render_pes + rank]``. The
+        reader loads a slab from the DPSS and then must *transmit* it
+        to the render process over the message-passing fabric -- "the
+        need to transmit large amounts of scientific data between
+        reader and render processes", the cost the paper's threaded
+        design deliberately avoids.
+        """
+        env = self.network.env
+        reader_rank = self.n_render_pes + rank
+        render_log = self._loggers[rank]
+        reader_log = self._loggers[reader_rank]
+        client, open_ev = self._open_client(reader_rank)
+        handle = yield open_ev
+
+        sem_a = SimSemaphore(env)
+        sem_b = SimSemaphore(env)
+        control = {"cmd": _EXIT}
+
+        def transmit(frame: int):
+            """Ship the raw slab from reader to render rank."""
+            task = FluidTask(
+                f"mpi-xfer[{rank}]",
+                work=self.slab_bytes(rank),
+                usage={self._interconnect: 1.0},
+                cap=self.interconnect_rate,
+            )
+            yield self.network.sched.submit(task)
+
+        def reader():
+            while True:
+                yield sem_a.wait()
+                cmd = control["cmd"]
+                if cmd == _EXIT:
+                    return
+                # BE_LOAD spans the DPSS read; the MPI hand-off that
+                # follows additionally gates the render process (the
+                # extra pipeline stage this design pays for).
+                yield env.process(
+                    self._load(rank, client, handle, cmd, reader_log)
+                )
+                yield env.process(transmit(cmd))
+                sem_b.post()
+
+        reader_proc = env.process(reader())
+        control["cmd"] = 0
+        sem_a.post()
+        yield sem_b.wait()
+
+        for frame in range(self.n_timesteps):
+            render_log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
+            if frame + 1 < self.n_timesteps:
+                control["cmd"] = frame + 1
+                sem_a.post()
+            # Render and reader live on separate nodes: no CPU
+            # contention, full share.
+            yield env.process(self._render(rank, frame, render_log))
+            yield env.process(
+                self._send_results(rank, frame, render_log)
+            )
+            render_log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
+            if frame + 1 < self.n_timesteps:
+                yield sem_b.wait()
+        control["cmd"] = _EXIT
+        sem_a.post()
+        yield reader_proc
+        yield self._barrier.wait()
+        return rank

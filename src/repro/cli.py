@@ -1,0 +1,238 @@
+"""Command-line interface: run campaigns, probes and demos.
+
+Installed as the ``visapult`` console script::
+
+    visapult list
+    visapult campaign lan_e4500 --overlapped --nlv
+    visapult iperf --wan esnet --streams 8
+    visapult artifacts --angles 0 16 45
+    visapult live --pes 4 --steps 3 --overlapped
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro._version import __version__
+
+#: campaign name -> factory accepting (overlapped: bool) where sensible
+_CAMPAIGNS: Dict[str, Callable] = {}
+
+
+def _register_campaigns() -> None:
+    from repro.core import CampaignConfig
+
+    _CAMPAIGNS.update(
+        {
+            "lan_e4500": lambda ov: CampaignConfig.lan_e4500(overlapped=ov),
+            "nton_cplant4": lambda ov: CampaignConfig.nton_cplant(
+                n_pes=4, overlapped=ov
+            ),
+            "nton_cplant8": lambda ov: CampaignConfig.nton_cplant(
+                n_pes=8, overlapped=ov, viewer_remote=True
+            ),
+            "esnet_anl": lambda ov: CampaignConfig.esnet_anl_smp(
+                overlapped=ov
+            ),
+            "sc99_cosmology": lambda ov: CampaignConfig.sc99_cosmology(),
+            "sc99_showfloor": lambda ov: CampaignConfig.sc99_showfloor(),
+        }
+    )
+
+
+def cmd_list(_args) -> int:
+    _register_campaigns()
+    print("available campaigns:")
+    for name in sorted(_CAMPAIGNS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.core import run_campaign
+    from repro.netlogger import lifeline_plot
+
+    _register_campaigns()
+    if args.name not in _CAMPAIGNS:
+        print(f"unknown campaign {args.name!r}; try 'visapult list'",
+              file=sys.stderr)
+        return 2
+    config = _CAMPAIGNS[args.name](args.overlapped)
+    if args.frames is not None:
+        config = config.with_changes(n_timesteps=args.frames)
+    if args.scaled:
+        config = config.with_changes(
+            shape=(160, 64, 64), dataset_timesteps=max(config.n_timesteps, 8)
+        )
+    result = run_campaign(config)
+    print(result.summary())
+    if args.nlv:
+        print()
+        print(lifeline_plot(result.event_log, width=args.width))
+    return 0
+
+
+def cmd_iperf(args) -> int:
+    from repro.core.platforms import Wans
+    from repro.netsim import Host, Link, Network, TcpParams, iperf
+    from repro.util.units import MB, mbps
+
+    wans = {
+        "nton": Wans.NTON_2000,
+        "nton-tuned": Wans.NTON_TUNED,
+        "esnet": Wans.ESNET,
+        "scinet": Wans.SCINET99,
+        "lan": Wans.LAN_GIGE,
+    }
+    spec = wans[args.wan]
+    net = Network()
+    net.add_host(Host("src", nic_rate=mbps(2000)))
+    net.add_host(Host("dst", nic_rate=mbps(2000)))
+    link = net.add_link(
+        Link(spec.name, rate=spec.rate, latency=spec.latency,
+             efficiency=spec.efficiency,
+             background_rate=spec.background_rate)
+    )
+    net.add_route("src", "dst", [link])
+    result = iperf(
+        net, "src", "dst",
+        nbytes=args.megabytes * MB,
+        streams=args.streams,
+        params=TcpParams(max_window=spec.tcp_window),
+    )
+    print(
+        f"{spec.name}: {result.mbps:.1f} Mbps aggregate over "
+        f"{args.streams} stream(s) ({args.megabytes} MB in "
+        f"{result.duration:.2f} s)"
+    )
+    return 0
+
+
+def cmd_artifacts(args) -> int:
+    from repro.datagen import CombustionConfig, combustion_field
+    from repro.ibravr import artifact_sweep
+    from repro.volren import TransferFunction
+
+    volume = combustion_field(
+        0.0,
+        CombustionConfig(shape=(args.size,) * 3, n_kernels=4,
+                         front_sharpness=10.0),
+    )
+    tf = TransferFunction.opaque_fire()
+    sweep = artifact_sweep(
+        volume, tf, args.angles, n_slabs=args.slabs,
+        image_size=args.image_size,
+        axis_switching=args.axis_switching,
+    )
+    mode = "axis switching" if args.axis_switching else "slabs pinned to X"
+    print(f"IBRAVR artifact sweep ({mode}):")
+    for s in sweep:
+        print(
+            f"  {s.angle_deg:6.1f} deg : rms {s.rms_error:.4f} "
+            f"(slab axis {s.slab_axis})"
+        )
+    return 0
+
+
+def cmd_live(args) -> int:
+    from repro.datagen import (
+        CombustionConfig,
+        SyntheticTimeSeries,
+        TimeSeriesMeta,
+        combustion_field,
+    )
+    from repro.live import LiveBackEnd, LiveViewer
+
+    shape = (args.size,) * 3
+    cfg = CombustionConfig(shape=shape)
+    meta = TimeSeriesMeta(name="cli-live", shape=shape,
+                          n_timesteps=args.steps)
+    source = SyntheticTimeSeries(
+        meta, lambda t: combustion_field(t, cfg), dt=0.5
+    )
+    viewer = LiveViewer(frame_size=args.image_size)
+    port = viewer.start()
+    backend = LiveBackEnd(
+        source, args.pes, port, overlapped=args.overlapped,
+        n_timesteps=args.steps,
+    )
+    backend.run(timeout=300.0)
+    ok = viewer.wait_done(timeout=60.0)
+    viewer.stop()
+    if viewer.errors:
+        raise viewer.errors[0]
+    print(
+        f"live run: {args.steps} timesteps x {args.pes} PEs "
+        f"({'overlapped' if args.overlapped else 'serial'}); "
+        f"viewer assembled {len(viewer.frames_assembled)} frames, "
+        f"drew {viewer.rendered_images} images"
+    )
+    if args.output and viewer.last_image is not None:
+        from repro.util.image import save_ppm
+
+        print(f"final frame -> {save_ppm(args.output, viewer.last_image)}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="visapult",
+        description="Visapult reproduction: campaigns, probes, demos.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list campaign names").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser("campaign", help="run a simulated campaign")
+    p.add_argument("name")
+    p.add_argument("--overlapped", action="store_true")
+    p.add_argument("--frames", type=int, default=None)
+    p.add_argument("--scaled", action="store_true",
+                   help="shrink the dataset for a fast demo")
+    p.add_argument("--nlv", action="store_true",
+                   help="print the NLV lifeline plot")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("iperf", help="probe a simulated WAN path")
+    p.add_argument("--wan", choices=["nton", "nton-tuned", "esnet",
+                                     "scinet", "lan"], default="esnet")
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--megabytes", type=float, default=100.0)
+    p.set_defaults(fn=cmd_iperf)
+
+    p = sub.add_parser("artifacts", help="IBRAVR artifact sweep")
+    p.add_argument("--angles", type=float, nargs="+",
+                   default=[0.0, 8.0, 16.0, 30.0, 45.0])
+    p.add_argument("--slabs", type=int, default=8)
+    p.add_argument("--size", type=int, default=48)
+    p.add_argument("--image-size", type=int, default=64)
+    p.add_argument("--axis-switching", action="store_true")
+    p.set_defaults(fn=cmd_artifacts)
+
+    p = sub.add_parser("live", help="run the live localhost pipeline")
+    p.add_argument("--pes", type=int, default=2)
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--image-size", type=int, default=128)
+    p.add_argument("--overlapped", action="store_true")
+    p.add_argument("--output", default=None,
+                   help="write the final frame to this PPM path")
+    p.set_defaults(fn=cmd_live)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Campaign orchestration: the paper's system, wired end to end.
+
+This package is the reproduction's "primary contribution" layer: it
+assembles the substrates (WAN topologies, DPSS sites, compute
+platforms, the back end and viewer) into the named experiments the
+paper reports, runs them on the discrete-event simulator, and reduces
+the NetLogger stream into the figures' quantities.
+
+Entry points:
+
+- :class:`~repro.core.campaign.CampaignConfig` with named constructors
+  for each of the paper's runs (``lan_e4500``, ``nton_cplant``,
+  ``esnet_anl_smp``, ``sc99_cosmology``, ``sc99_showfloor``, ...);
+- :func:`~repro.core.campaign.run_campaign` -> a
+  :class:`~repro.core.report.CampaignResult`;
+- :mod:`~repro.core.model` -- the section 4.3 analytic overlap model
+  (``Ts = N(L+R)``, ``To = N max(L,R) + min(L,R)``).
+"""
+
+from repro.core.model import (
+    overlapped_time,
+    overlap_speedup,
+    serial_time,
+    theoretical_speedup_limit,
+    transfer_time,
+)
+from repro.core.platforms import PlatformSpec, Platforms, WanSpec, Wans
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.sweep import DEFAULT_METRICS, SweepResult, sweep
+from repro.core.report import CampaignResult
+
+__all__ = [
+    "serial_time",
+    "overlapped_time",
+    "overlap_speedup",
+    "theoretical_speedup_limit",
+    "transfer_time",
+    "PlatformSpec",
+    "Platforms",
+    "WanSpec",
+    "Wans",
+    "CampaignConfig",
+    "run_campaign",
+    "CampaignResult",
+    "DEFAULT_METRICS",
+    "SweepResult",
+    "sweep",
+]

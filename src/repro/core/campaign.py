@@ -1,0 +1,312 @@
+"""Campaign configurations and the end-to-end session runner.
+
+A campaign is one of the paper's instrumented runs: a DPSS site, a WAN
+path, a compute platform running the back end, and a viewer. The named
+constructors below correspond to the experiments of sections 4.1-4.4;
+:func:`run_campaign` wires everything onto a fresh simulator, runs the
+frame loop, and returns a :class:`~repro.core.report.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.backend.sim import SimBackEnd
+from repro.core.platforms import (
+    DPSS_DISK_RATE,
+    DPSS_DISKS_PER_SERVER,
+    DPSS_N_SERVERS,
+    DPSS_SERVER_NIC,
+    PlatformSpec,
+    Platforms,
+    WanSpec,
+    Wans,
+)
+from repro.core.report import CampaignResult
+from repro.datagen.timeseries import TimeSeriesMeta
+from repro.dpss.blocks import DpssDataset
+from repro.dpss.master import DpssMaster
+from repro.dpss.server import DpssServer
+from repro.netlogger.daemon import NetLogDaemon
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.tcp import TcpParams
+from repro.netsim.topology import Network
+from repro.util.units import KIB, mbps
+from repro.viewer.sim import SimViewer
+
+#: the paper's combustion dataset: 640x256x256 floats, 265 steps
+PAPER_SHAPE: Tuple[int, int, int] = (640, 256, 256)
+PAPER_TIMESTEPS = 265
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything needed to reproduce one instrumented run."""
+
+    name: str
+    platform: PlatformSpec
+    wan: WanSpec
+    n_pes: int
+    overlapped: bool = False
+    #: Appendix B's rejected MPI-only pipeline (half the ranks read)
+    mpi_only_overlap: bool = False
+    #: frames actually simulated (full 265 is cheap but unnecessary
+    #: for the 10-timestep figures)
+    n_timesteps: int = 10
+    shape: Tuple[int, int, int] = PAPER_SHAPE
+    dataset_timesteps: int = PAPER_TIMESTEPS
+    #: viewer co-located with the back end (April campaign) or back
+    #: across the WAN (section 4.4 runs)
+    viewer_remote: bool = False
+    #: WAN between back end and a remote viewer (defaults to ``wan``)
+    viewer_wan: Optional[WanSpec] = None
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.n_pes < 1:
+            raise ValueError("n_pes must be >= 1")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+
+    @property
+    def meta(self) -> TimeSeriesMeta:
+        """Dataset metadata for this campaign."""
+        return TimeSeriesMeta(
+            name=f"{self.name}-data",
+            shape=self.shape,
+            n_timesteps=self.dataset_timesteps,
+        )
+
+    # -- the paper's named runs ----------------------------------------
+    @classmethod
+    def lan_e4500(cls, *, overlapped: bool, n_timesteps: int = 10,
+                  **kw) -> "CampaignConfig":
+        """Figures 12-13: E4500 on the LBL gigabit LAN, 8 PEs,
+        ten timesteps, serial vs overlapped."""
+        return cls(
+            name=f"lan-e4500-{'overlapped' if overlapped else 'serial'}",
+            platform=Platforms.E4500,
+            wan=Wans.LAN_GIGE,
+            n_pes=8,
+            overlapped=overlapped,
+            n_timesteps=n_timesteps,
+            **kw,
+        )
+
+    @classmethod
+    def nton_cplant(cls, *, n_pes: int = 4, overlapped: bool = False,
+                    viewer_remote: bool = False, n_timesteps: int = 10,
+                    **kw) -> "CampaignConfig":
+        """Figure 10 (4 PEs, serial, viewer local) and Figures 14-15
+        (8 PEs, viewer back at LBL over ESnet)."""
+        return cls(
+            name=(
+                f"nton-cplant{n_pes}-"
+                f"{'overlapped' if overlapped else 'serial'}"
+            ),
+            platform=Platforms.CPLANT,
+            wan=Wans.NTON_2000,
+            n_pes=n_pes,
+            overlapped=overlapped,
+            n_timesteps=n_timesteps,
+            viewer_remote=viewer_remote,
+            viewer_wan=Wans.ESNET if viewer_remote else None,
+            **kw,
+        )
+
+    @classmethod
+    def esnet_anl_smp(cls, *, overlapped: bool, n_timesteps: int = 8,
+                      **kw) -> "CampaignConfig":
+        """Figures 16-17: back end on the ANL Onyx2 reading the LBL
+        DPSS over ESnet, viewer back at LBL."""
+        return cls(
+            name=f"esnet-anl-{'overlapped' if overlapped else 'serial'}",
+            platform=Platforms.ONYX2,
+            wan=Wans.ESNET,
+            n_pes=8,
+            overlapped=overlapped,
+            n_timesteps=n_timesteps,
+            viewer_remote=True,
+            viewer_wan=Wans.ESNET,
+            **kw,
+        )
+
+    @classmethod
+    def sc99_cosmology(cls, *, n_timesteps: int = 6, **kw) -> "CampaignConfig":
+        """SC99: cosmology data, LBL DPSS -> CPlant over NTON (the
+        250 Mbps configuration), viewer on the show floor."""
+        return cls(
+            name="sc99-cosmology",
+            platform=Platforms.CPLANT,
+            wan=Wans.NTON_1999,
+            n_pes=8,
+            n_timesteps=n_timesteps,
+            shape=(512, 256, 256),
+            dataset_timesteps=64,
+            viewer_remote=True,
+            viewer_wan=Wans.SCINET99,
+            **kw,
+        )
+
+    @classmethod
+    def sc99_showfloor(cls, *, n_timesteps: int = 6, **kw) -> "CampaignConfig":
+        """SC99: LBL DPSS -> LBL-booth cluster over shared SciNet (the
+        150 Mbps configuration)."""
+        return cls(
+            name="sc99-showfloor",
+            platform=Platforms.BABEL,
+            wan=Wans.SCINET99,
+            n_pes=8,
+            n_timesteps=n_timesteps,
+            shape=(512, 256, 256),
+            dataset_timesteps=64,
+            **kw,
+        )
+
+    def with_changes(self, **kw) -> "CampaignConfig":
+        """A modified copy (ablations, sweeps)."""
+        return replace(self, **kw)
+
+
+def build_session(config: CampaignConfig):
+    """Construct the simulated world for a campaign.
+
+    Returns ``(network, backend, viewer, daemon)`` ready to run;
+    :func:`run_campaign` is the one-call wrapper.
+    """
+    net = Network()
+    daemon = NetLogDaemon()
+
+    # --- DPSS site -----------------------------------------------------
+    dpss_lan = net.add_link(
+        Link("dpss-lan", rate=mbps(2000.0), latency=0.0001)
+    )
+    master_host = net.add_host(Host("dpss-master", nic_rate=mbps(100.0)))
+    master = DpssMaster(master_host)
+    for i in range(DPSS_N_SERVERS):
+        h = net.add_host(
+            Host(f"dpss{i}", nic_rate=DPSS_SERVER_NIC)
+        )
+        server = DpssServer(
+            h,
+            n_disks=DPSS_DISKS_PER_SERVER,
+            disk_rate=DPSS_DISK_RATE,
+            cache_bytes=0.0,  # time-series sweeps never re-read blocks
+        )
+        server.attach(net)
+        master.add_server(server)
+
+    # --- WAN ----------------------------------------------------------
+    wan = net.add_link(
+        Link(
+            config.wan.name,
+            rate=config.wan.rate,
+            latency=config.wan.latency,
+            efficiency=config.wan.efficiency,
+            background_rate=config.wan.background_rate,
+            monitor=True,
+        )
+    )
+
+    # --- compute platform ----------------------------------------------
+    plat = config.platform
+    if plat.cluster:
+        pe_hosts = [
+            net.add_host(
+                Host(
+                    f"pe{i}",
+                    nic_rate=plat.nic_rate,
+                    n_cpus=plat.n_cpus,
+                    shared_cpu_io=plat.shared_cpu_io,
+                )
+            )
+            for i in range(config.n_pes)
+        ]
+    else:
+        smp = net.add_host(
+            Host(
+                plat.name,
+                nic_rate=plat.nic_rate,
+                n_cpus=plat.n_cpus,
+                shared_cpu_io=plat.shared_cpu_io,
+            )
+        )
+        pe_hosts = [smp] * config.n_pes
+
+    # Routes: DPSS site <-> each compute host over the WAN.
+    for host in set(h.name for h in pe_hosts):
+        net.add_route("dpss-master", host, [dpss_lan, wan])
+        for i in range(DPSS_N_SERVERS):
+            net.add_route(f"dpss{i}", host, [dpss_lan, wan])
+
+    # --- viewer ---------------------------------------------------------
+    viewer_host = net.add_host(Host("viewer", nic_rate=mbps(100.0)))
+    if config.viewer_remote:
+        vwan_spec = config.viewer_wan or config.wan
+        viewer_wan = net.add_link(
+            Link(
+                f"viewer-{vwan_spec.name}",
+                rate=vwan_spec.rate,
+                latency=vwan_spec.latency,
+                efficiency=vwan_spec.efficiency,
+                background_rate=vwan_spec.background_rate,
+            )
+        )
+        viewer_links = [viewer_wan]
+    else:
+        viewer_lan = net.add_link(
+            Link("viewer-lan", rate=mbps(1000.0), latency=0.0001)
+        )
+        viewer_links = [viewer_lan]
+    for host in set(h.name for h in pe_hosts):
+        net.add_route(host, "viewer", viewer_links)
+    net.add_route("dpss-master", "viewer", [dpss_lan, wan])
+
+    # --- dataset ---------------------------------------------------------
+    meta = config.meta
+    master.register_dataset(
+        DpssDataset(name=meta.name, size=float(meta.total_bytes),
+                    block_size=64 * KIB)
+    )
+
+    # --- endpoints ---------------------------------------------------------
+    tcp = TcpParams(max_window=config.wan.tcp_window)
+    viewer = SimViewer(
+        net, "viewer", daemon=daemon,
+        tcp_params=TcpParams(max_window=1024 * KIB),
+    )
+    backend = SimBackEnd(
+        net,
+        pe_hosts,
+        master,
+        meta.name,
+        viewer,
+        meta,
+        daemon=daemon,
+        render_cost=plat.render_cost_model(),
+        n_timesteps=config.n_timesteps,
+        overlapped=config.overlapped,
+        mpi_only_overlap=config.mpi_only_overlap,
+        overlap_render_share=(
+            plat.overlap_render_share if config.overlapped else 1.0
+        ),
+        overlap_ingest_factor=(
+            plat.overlap_ingest_factor if config.overlapped else 1.0
+        ),
+        load_jitter_cv=(
+            plat.overlap_jitter_cv if config.overlapped else 0.0
+        ),
+        tcp_params=tcp,
+        seed=config.seed,
+    )
+    return net, backend, viewer, daemon
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Build and run a campaign to completion; reduce the results."""
+    net, backend, viewer, daemon = build_session(config)
+    done = backend.run()
+    net.run(until=done)
+    return CampaignResult.from_run(config, net, backend, viewer, daemon)

@@ -1,0 +1,64 @@
+"""The section 4.3 analytic performance model.
+
+"Let R be the time spent in each PE performing rendering for each of N
+timesteps of data, and let L be the time spent by each PE loading data
+for each time step. The amount of time, Ts, required for N time steps'
+worth of data using the serial implementation is Ts = N x (L + R). In
+contrast, the time required for N time steps using an overlapped
+implementation is To = N x max(L, R) + min(L, R)."
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+def serial_time(n_timesteps: int, load: float, render: float) -> float:
+    """Ts = N * (L + R)."""
+    _check(n_timesteps, load, render)
+    return n_timesteps * (load + render)
+
+
+def overlapped_time(n_timesteps: int, load: float, render: float) -> float:
+    """To = N * max(L, R) + min(L, R)."""
+    _check(n_timesteps, load, render)
+    return n_timesteps * max(load, render) + min(load, render)
+
+
+def overlap_speedup(n_timesteps: int, load: float, render: float) -> float:
+    """Ts / To for given N, L, R."""
+    to = overlapped_time(n_timesteps, load, render)
+    if to == 0:
+        return 1.0
+    return serial_time(n_timesteps, load, render) / to
+
+
+def theoretical_speedup_limit(n_timesteps: int) -> float:
+    """The L == R limit: Ts/To = 2N / (N + 1), approaching 2.
+
+    "If we assume that L and R are approximately equal, then the
+    theoretical speedup realized using an overlapped implementation
+    over one that is serial is Ts/To, or 2N/(N+1)."
+    """
+    if n_timesteps < 1:
+        raise ValueError("n_timesteps must be >= 1")
+    return 2.0 * n_timesteps / (n_timesteps + 1.0)
+
+
+def transfer_time(nbytes: float, rate: float) -> float:
+    """Seconds to move ``nbytes`` at ``rate`` bytes/second.
+
+    The section 5 arithmetic: the 265-timestep, 41.4 GB dataset takes
+    ~minutes over NTON versus ~44 minutes over ESnet, and a 5
+    timestep/second target needs roughly an OC-192.
+    """
+    check_non_negative("nbytes", nbytes)
+    check_positive("rate", rate)
+    return nbytes / rate
+
+
+def _check(n_timesteps: int, load: float, render: float) -> None:
+    if n_timesteps < 1:
+        raise ValueError("n_timesteps must be >= 1")
+    check_non_negative("load", load)
+    check_non_negative("render", render)

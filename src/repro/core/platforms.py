@@ -1,0 +1,194 @@
+"""Calibrated platform and WAN specifications.
+
+Every free parameter of the simulation (NIC ingest limits, render
+rates, link efficiencies, TCP windows, RTTs) is pinned here, in one
+place, against the paper's reported numbers (DESIGN.md section 5):
+
+========================= ==========================================
+Paper observation          Calibration
+========================= ==========================================
+433 Mbps over NTON =       NTON link efficiency 0.70 on OC-12
+~70% of OC-12 (Fig 10)
+DPSS raw: 980 Mbps LAN /    server disk pools 4x14 MB/s; tuned-WAN
+570 Mbps WAN (section 2)    efficiency 0.92
+SC99: 250 Mbps NTON,        1999-era path efficiency 0.40; SciNet
+150 Mbps show floor         shared: gigE at 0.60 minus 450 Mbps of
+(section 4.1)               competing show-floor traffic
+E4500: L ~= 15 s/160 MB     E4500 host ingest 86 Mbps (336 MHz
+(Figs 12-13)                UltraSPARC-II TCP stack + single NIC)
+E4500: R ~= 12 s/slab       render 4.4e5 voxels/s per 336 MHz CPU
+CPlant: R ~= 8.5 s on 4     render 1.23e6 voxels/s per 500 MHz
+PEs, halves on 8 (Fig 14)   Alpha node
+ESnet: iperf ~100 Mbps,     OC-12 at effective 0.21 (shared), RTT
+Visapult ~128 Mbps          50 ms, 640 KiB windows: single stream
+(Figs 16-17)                caps at ~102 Mbps, 8 streams fill 130
+Onyx2 overlapped frame      render 7.5e5 voxels/s per Onyx2 CPU
+~10 s (section 5)           (R ~= 7 s < L ~= 10 s)
+========================= ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KIB, MB, OC12, mbps
+from repro.volren.renderer import RenderCostModel
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A back end compute platform."""
+
+    name: str
+    #: one host per PE (cluster) vs one shared host (SMP)
+    cluster: bool
+    #: NIC ingest limit per host, bytes/s (per node for clusters)
+    nic_rate: float
+    #: CPUs per host (1 for cluster nodes)
+    n_cpus: int
+    #: software volume rendering throughput, voxels/s per CPU
+    render_voxels_per_sec: float
+    #: single-CPU nodes: reader thread and render contend (Appendix B)
+    shared_cpu_io: bool = False
+    #: overlapped mode: NIC derate while the CPU also renders
+    overlap_ingest_factor: float = 1.0
+    #: overlapped mode: render thread's CPU share while ingest runs
+    overlap_render_share: float = 1.0
+    #: per-frame load/render variability in overlapped mode
+    overlap_jitter_cv: float = 0.0
+
+    def render_cost_model(self) -> RenderCostModel:
+        """Cost model for one PE rendering its slab."""
+        return RenderCostModel(
+            voxels_per_second=self.render_voxels_per_sec,
+            per_frame_overhead=0.05,
+        )
+
+
+class Platforms:
+    """The paper's compute platforms."""
+
+    #: Sun E4500: 8 x 336 MHz UltraSPARC-II, one shared gigE NIC whose
+    #: effective host throughput is far below line rate (Figs 12-13).
+    E4500 = PlatformSpec(
+        name="sun-e4500",
+        cluster=False,
+        nic_rate=mbps(86.0),
+        n_cpus=8,
+        render_voxels_per_sec=4.4e5,
+    )
+
+    #: Sandia CPlant: Linux/Alpha cluster, 500 MHz single-CPU nodes,
+    #: per-node external NICs with interrupt-limited ingest; reader
+    #: and render share the one CPU (section 4.4.1).
+    CPLANT = PlatformSpec(
+        name="cplant",
+        cluster=True,
+        nic_rate=mbps(120.0),
+        n_cpus=1,
+        render_voxels_per_sec=1.23e6,
+        shared_cpu_io=True,
+        overlap_ingest_factor=0.35,
+        overlap_render_share=0.85,
+        overlap_jitter_cv=0.30,
+    )
+
+    #: ANL's 16-CPU SGI Onyx2: plenty of CPUs for reader threads, one
+    #: shared gigE interface for all PEs (section 4.4.2).
+    ONYX2 = PlatformSpec(
+        name="sgi-onyx2",
+        cluster=False,
+        nic_rate=mbps(600.0),
+        n_cpus=16,
+        render_voxels_per_sec=7.5e5,
+    )
+
+    #: LBL-booth 8-node Alpha Linux cluster at SC99.
+    BABEL = PlatformSpec(
+        name="babel-cluster",
+        cluster=True,
+        nic_rate=mbps(120.0),
+        n_cpus=1,
+        render_voxels_per_sec=1.0e6,
+        shared_cpu_io=True,
+        overlap_ingest_factor=0.35,
+        overlap_render_share=0.85,
+        overlap_jitter_cv=0.30,
+    )
+
+
+@dataclass(frozen=True)
+class WanSpec:
+    """A WAN path between the DPSS site and the compute site."""
+
+    name: str
+    rate: float
+    #: one-way propagation latency, seconds
+    latency: float
+    efficiency: float = 1.0
+    background_rate: float = 0.0
+    #: per-stream TCP receive window, bytes
+    tcp_window: float = 1024 * KIB
+
+    @property
+    def usable_capacity(self) -> float:
+        """Application-visible capacity in bytes/second."""
+        return max(self.rate * self.efficiency - self.background_rate, 0.0)
+
+
+class Wans:
+    """The paper's network paths."""
+
+    #: NTON LBL<->SNL-CA in 2000: OC-12, short optical path; the
+    #: April campaign sustained ~70% of line rate (Fig 10).
+    NTON_2000 = WanSpec(
+        name="nton-2000", rate=OC12, latency=0.0025, efficiency=0.70
+    )
+
+    #: The same fibre under tuned, DPSS-only conditions: the 570 Mbps
+    #: raw block-service figure of section 2.
+    NTON_TUNED = WanSpec(
+        name="nton-tuned", rate=OC12, latency=0.0025, efficiency=0.92
+    )
+
+    #: NTON as exercised by the pre-streamlining SC99 implementation
+    #: (250 Mbps, section 4.1).
+    NTON_1999 = WanSpec(
+        name="nton-1999", rate=OC12, latency=0.0025, efficiency=0.40
+    )
+
+    #: SciNet, the SC99 show-floor network: gigabit but heavily shared
+    #: (150 Mbps achieved, section 4.1).
+    SCINET99 = WanSpec(
+        name="scinet99",
+        rate=mbps(1000.0),
+        latency=0.012,
+        efficiency=0.60,
+        background_rate=mbps(450.0),
+    )
+
+    #: ESnet LBL<->ANL: OC-12 backbone but shared and long-haul;
+    #: ~100 Mbps to a single iperf stream, ~130 Mbps to parallel
+    #: streams (section 4.4.2).
+    ESNET = WanSpec(
+        name="esnet",
+        rate=OC12,
+        latency=0.025,
+        efficiency=0.21,
+        tcp_window=640 * KIB,
+    )
+
+    #: A dedicated gigabit LAN (the E4500 tests of section 4.3).
+    LAN_GIGE = WanSpec(
+        name="lan-gige", rate=mbps(1000.0), latency=0.0001, efficiency=0.95
+    )
+
+
+#: The DPSS deployment the paper describes: four block servers, each a
+#: commodity box with several disks per controller; "a four-server
+#: DPSS ... can thus deliver throughput of over 150 megabytes per
+#: second by providing parallel access to 15-20 disks" (section 3.5).
+DPSS_N_SERVERS = 4
+DPSS_DISKS_PER_SERVER = 5
+DPSS_DISK_RATE = 8 * MB  # per disk; 40 MB/s pool per server
+DPSS_SERVER_NIC = mbps(1000.0)

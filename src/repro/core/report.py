@@ -1,0 +1,155 @@
+"""Reducing a campaign run into the paper's reported quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.netlogger.analysis import EventLog
+from repro.util.units import bytes_per_sec_to_mbps, fmt_seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backend.sim import SimBackEnd
+    from repro.core.campaign import CampaignConfig
+    from repro.netlogger.daemon import NetLogDaemon
+    from repro.netsim.topology import Network
+    from repro.viewer.sim import SimViewer
+
+
+@dataclass
+class CampaignResult:
+    """Derived measurements of one campaign run.
+
+    ``mean_load``/``mean_render`` are the per-frame makespans across
+    PEs (the L and R the paper reads off its NLV plots);
+    ``load_throughput_mbps`` is the aggregate DPSS->back end goodput
+    while loads were in flight.
+    """
+
+    config: "CampaignConfig"
+    total_time: float
+    n_frames: int
+    mean_load: float
+    std_load: float
+    mean_render: float
+    std_render: float
+    load_throughput_mbps: float
+    wan_capacity_mbps: float
+    backend_to_viewer_bytes: float
+    dpss_to_backend_bytes: float
+    viewer_frames_complete: int
+    event_log: EventLog = field(repr=False)
+    per_frame_load: Dict[int, float] = field(default_factory=dict, repr=False)
+    per_frame_render: Dict[int, float] = field(default_factory=dict, repr=False)
+    #: sampled (time, fraction-of-usable-capacity) on the WAN link --
+    #: the bandwidth-over-time view NLV plots alongside the lifelines
+    wan_utilization_series: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_run(
+        cls,
+        config: "CampaignConfig",
+        network: "Network",
+        backend: "SimBackEnd",
+        viewer: "SimViewer",
+        daemon: "NetLogDaemon",
+    ) -> "CampaignResult":
+        log = EventLog(daemon.events)
+        per_frame_load = log.per_frame_load_times()
+        per_frame_render = log.per_frame_render_times()
+        # L and R are per-PE span durations, as read off the NLV plots
+        # (per-frame makespans desynchronise in overlapped mode).
+        loads = np.array(
+            [s.duration for s in log.load_spans()] or [0.0]
+        )
+        renders = np.array(
+            [s.duration for s in log.render_spans()] or [0.0]
+        )
+
+        # Aggregate goodput while data was moving: bytes loaded over
+        # the union span of load activity per frame, averaged.
+        bytes_per_frame = backend.meta.bytes_per_timestep
+        load_rates = [
+            bytes_per_frame / t for t in per_frame_load.values() if t > 0
+        ]
+        load_mbps = (
+            float(np.mean([bytes_per_sec_to_mbps(r) for r in load_rates]))
+            if load_rates
+            else 0.0
+        )
+
+        wan_series = []
+        wan_link = network.links.get(config.wan.name)
+        if wan_link is not None:
+            wan_series = wan_link.resource.utilization_timeseries()
+
+        return cls(
+            config=config,
+            total_time=backend.timing.total_time,
+            n_frames=config.n_timesteps,
+            mean_load=float(loads.mean()),
+            std_load=float(loads.std()),
+            mean_render=float(renders.mean()),
+            std_render=float(renders.std()),
+            load_throughput_mbps=load_mbps,
+            wan_capacity_mbps=bytes_per_sec_to_mbps(
+                config.wan.usable_capacity
+            ),
+            backend_to_viewer_bytes=backend.timing.bytes_sent_to_viewer,
+            dpss_to_backend_bytes=backend.timing.bytes_loaded,
+            viewer_frames_complete=viewer.complete_frames(backend.n_pes),
+            event_log=log,
+            per_frame_load=per_frame_load,
+            per_frame_render=per_frame_render,
+            wan_utilization_series=wan_series,
+        )
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def wan_utilization(self) -> float:
+        """Load throughput as a fraction of the WAN line rate."""
+        line_mbps = bytes_per_sec_to_mbps(self.config.wan.rate)
+        return self.load_throughput_mbps / line_mbps if line_mbps else 0.0
+
+    @property
+    def traffic_asymmetry(self) -> float:
+        """DPSS->back end bytes over back end->viewer bytes.
+
+        "the majority of communication was between the DPSS and the
+        Visapult back end, with the link between the Visapult back end
+        and viewer requiring much less bandwidth" (section 4.1).
+        """
+        if self.backend_to_viewer_bytes == 0:
+            return float("inf")
+        return self.dpss_to_backend_bytes / self.backend_to_viewer_bytes
+
+    @property
+    def seconds_per_timestep(self) -> float:
+        """Average pipeline period (the section 5 "new timestep every
+        N seconds" quantity)."""
+        return self.total_time / self.n_frames if self.n_frames else 0.0
+
+    def summary(self) -> str:
+        """A human-readable result block."""
+        cfg = self.config
+        lines = [
+            f"campaign {cfg.name}: {cfg.n_pes} PEs on {cfg.platform.name}, "
+            f"{'overlapped' if cfg.overlapped else 'serial'}, "
+            f"{self.n_frames} timesteps",
+            f"  total time        : {fmt_seconds(self.total_time)}"
+            f" ({fmt_seconds(self.seconds_per_timestep)}/timestep)",
+            f"  load (L)          : {self.mean_load:.2f} s/frame"
+            f" +- {self.std_load:.2f}",
+            f"  render (R)        : {self.mean_render:.2f} s/frame"
+            f" +- {self.std_render:.2f}",
+            f"  DPSS->BE goodput  : {self.load_throughput_mbps:.0f} Mbps"
+            f" ({self.wan_utilization:.0%} of {cfg.wan.name} line rate)",
+            f"  BE->viewer bytes  : "
+            f"{self.backend_to_viewer_bytes / 1e6:.1f} MB"
+            f" (asymmetry {self.traffic_asymmetry:.0f}x)",
+            f"  viewer frames     : {self.viewer_frames_complete}"
+            f"/{self.n_frames} complete",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Corridor resource management: planning sessions across sites.
+
+Section 5: "One of the appealing themes in Corridor projects is the
+ability of a user to transparently take advantage of remote and
+distributed resources, such as network storage caches and
+computational facilities, without specialized knowledge about the
+distributed resources ... A good deal of our future work will be
+focused upon simplifying the access to and use of the remote and
+distributed resources upon which Visapult is built."
+
+This package is that future work, built: a registry of sites, compute
+platforms, DPSS caches and WAN paths (:mod:`~repro.corridor.registry`),
+and a planner (:mod:`~repro.corridor.planner`) that picks the compute
+site and PE count minimising the predicted pipeline period using the
+section 4.3 model, then materialises the choice as a runnable
+campaign.
+"""
+
+from repro.corridor.registry import (
+    ComputeResource,
+    CorridorMap,
+    DataCacheResource,
+    NetworkPath,
+    Site,
+)
+from repro.corridor.planner import (
+    PlannedSession,
+    SessionRequest,
+    plan_session,
+    run_session,
+)
+
+__all__ = [
+    "ComputeResource",
+    "CorridorMap",
+    "DataCacheResource",
+    "NetworkPath",
+    "Site",
+    "PlannedSession",
+    "SessionRequest",
+    "plan_session",
+    "run_session",
+]

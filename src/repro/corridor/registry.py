@@ -1,0 +1,151 @@
+"""The corridor map: sites, resources and the paths between them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.platforms import PlatformSpec, WanSpec
+
+
+@dataclass(frozen=True)
+class Site:
+    """A participating laboratory or facility."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ComputeResource:
+    """A back end platform available at a site."""
+
+    name: str
+    site: str
+    platform: PlatformSpec
+    max_pes: int
+
+    def __post_init__(self):
+        if self.max_pes < 1:
+            raise ValueError(f"max_pes must be >= 1, got {self.max_pes}")
+
+
+@dataclass(frozen=True)
+class DataCacheResource:
+    """A DPSS deployment at a site, with the datasets it holds."""
+
+    name: str
+    site: str
+    datasets: Tuple[str, ...] = ()
+
+    def holds(self, dataset: str) -> bool:
+        return dataset in self.datasets
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """A WAN path joining two sites (symmetric)."""
+
+    site_a: str
+    site_b: str
+    wan: WanSpec
+
+    def joins(self, a: str, b: str) -> bool:
+        return {self.site_a, self.site_b} == {a, b}
+
+
+class CorridorMap:
+    """Registry of everything a corridor session could use."""
+
+    def __init__(self):
+        self._sites: Dict[str, Site] = {}
+        self._compute: Dict[str, ComputeResource] = {}
+        self._caches: Dict[str, DataCacheResource] = {}
+        self._paths: List[NetworkPath] = []
+
+    # -- registration ------------------------------------------------------
+    def add_site(self, site: Site) -> Site:
+        if site.name in self._sites:
+            raise ValueError(f"duplicate site {site.name!r}")
+        self._sites[site.name] = site
+        return site
+
+    def add_compute(self, resource: ComputeResource) -> ComputeResource:
+        self._require_site(resource.site)
+        if resource.name in self._compute:
+            raise ValueError(f"duplicate compute resource {resource.name!r}")
+        self._compute[resource.name] = resource
+        return resource
+
+    def add_cache(self, cache: DataCacheResource) -> DataCacheResource:
+        self._require_site(cache.site)
+        if cache.name in self._caches:
+            raise ValueError(f"duplicate cache {cache.name!r}")
+        self._caches[cache.name] = cache
+        return cache
+
+    def add_path(self, path: NetworkPath) -> NetworkPath:
+        self._require_site(path.site_a)
+        self._require_site(path.site_b)
+        if path.site_a == path.site_b:
+            raise ValueError("a path must join two distinct sites")
+        self._paths.append(path)
+        return path
+
+    def _require_site(self, name: str) -> None:
+        if name not in self._sites:
+            raise KeyError(f"unknown site {name!r}")
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites.values())
+
+    @property
+    def compute_resources(self) -> List[ComputeResource]:
+        return list(self._compute.values())
+
+    def caches_holding(self, dataset: str) -> List[DataCacheResource]:
+        """Caches that already hold a dataset."""
+        return [c for c in self._caches.values() if c.holds(dataset)]
+
+    def path_between(self, a: str, b: str) -> Optional[NetworkPath]:
+        """The (single-hop) WAN path joining two sites, if any.
+
+        Same-site traffic needs no WAN; callers treat ``None`` for
+        ``a == b`` as a local gigabit fabric.
+        """
+        if a == b:
+            return None
+        for path in self._paths:
+            if path.joins(a, b):
+                return path
+        raise KeyError(f"no path between {a!r} and {b!r}")
+
+    # -- a canned instance -------------------------------------------------
+    @classmethod
+    def year_2000_testbed(cls) -> "CorridorMap":
+        """The paper's world: LBL, SNL-CA and ANL with their resources."""
+        from repro.core.platforms import Platforms, Wans
+
+        cmap = cls()
+        cmap.add_site(Site("lbl", "Lawrence Berkeley National Laboratory"))
+        cmap.add_site(Site("snl", "Sandia National Laboratories, CA"))
+        cmap.add_site(Site("anl", "Argonne National Laboratory"))
+        cmap.add_cache(
+            DataCacheResource(
+                "lbl-dpss", "lbl", datasets=("combustion-640",)
+            )
+        )
+        cmap.add_compute(
+            ComputeResource("cplant", "snl", Platforms.CPLANT, max_pes=32)
+        )
+        cmap.add_compute(
+            ComputeResource("onyx2", "anl", Platforms.ONYX2, max_pes=8)
+        )
+        cmap.add_compute(
+            ComputeResource("e4500", "lbl", Platforms.E4500, max_pes=8)
+        )
+        cmap.add_path(NetworkPath("lbl", "snl", Wans.NTON_2000))
+        cmap.add_path(NetworkPath("lbl", "anl", Wans.ESNET))
+        return cmap

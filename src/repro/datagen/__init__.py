@@ -1,0 +1,58 @@
+"""Synthetic scientific datasets standing in for the paper's data.
+
+The paper visualizes two real datasets we cannot obtain:
+
+- a **reactive-chemistry combustion simulation** on a 640x256x256 grid
+  with an adaptive (AMR) grid hierarchy, 265 timesteps, one float per
+  cell (160 MB/timestep, 41.4 GB total), and
+- a **hydrodynamic cosmology simulation** (density fields).
+
+The generators here produce fields with the same shapes, sizes,
+time-series structure and qualitative features (flame kernels and
+advected plumes; halo/filament density), which is all the paper's
+experiments depend on. :mod:`repro.datagen.amr` derives the adaptive
+grid hierarchy and the grid line geometry that Visapult overlays on
+the volume rendering (Figure 3).
+"""
+
+from repro.datagen.combustion import combustion_field, CombustionConfig
+from repro.datagen.cosmology import cosmology_field, CosmologyConfig
+from repro.datagen.amr import (
+    AMRBox,
+    build_amr_hierarchy,
+    grid_line_segments,
+    refine_boxes,
+)
+from repro.datagen.validate import (
+    FieldStats,
+    check_combustion_like,
+    check_cosmology_like,
+    field_stats,
+    spectral_slope,
+)
+from repro.datagen.timeseries import (
+    TimeSeriesMeta,
+    TimeSeriesReader,
+    TimeSeriesWriter,
+    SyntheticTimeSeries,
+)
+
+__all__ = [
+    "combustion_field",
+    "CombustionConfig",
+    "cosmology_field",
+    "CosmologyConfig",
+    "AMRBox",
+    "build_amr_hierarchy",
+    "grid_line_segments",
+    "refine_boxes",
+    "TimeSeriesMeta",
+    "TimeSeriesReader",
+    "TimeSeriesWriter",
+    "SyntheticTimeSeries",
+    "FieldStats",
+    "check_combustion_like",
+    "check_cosmology_like",
+    "field_stats",
+    "spectral_slope",
+]

@@ -1,0 +1,90 @@
+"""Datasets, logical blocks and round-robin striping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.units import KIB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DpssDataset:
+    """A named logical byte range stored in the DPSS."""
+
+    name: str
+    size: float
+    block_size: float = 64 * KIB
+
+    def __post_init__(self):
+        check_positive("size", self.size)
+        check_positive("block_size", self.block_size)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of logical blocks (last one may be short)."""
+        return int(-(-self.size // self.block_size))
+
+
+class BlockMap:
+    """Logical-to-physical block placement for one dataset.
+
+    Blocks are striped round-robin over the server list, the DPSS's
+    load-balancing policy for sequential reads: every server
+    contributes equally to any large contiguous range.
+    """
+
+    def __init__(self, dataset: DpssDataset, server_names: List[str]):
+        if not server_names:
+            raise ValueError("dataset must be striped over >= 1 server")
+        if len(set(server_names)) != len(server_names):
+            raise ValueError("duplicate server names in stripe set")
+        self.dataset = dataset
+        self.server_names = list(server_names)
+
+    def server_of_block(self, block: int) -> str:
+        """The server holding a logical block."""
+        if not 0 <= block < self.dataset.n_blocks:
+            raise IndexError(
+                f"block {block} outside [0, {self.dataset.n_blocks})"
+            )
+        return self.server_names[block % len(self.server_names)]
+
+    def blocks_for_range(self, offset: float, nbytes: float) -> range:
+        """Logical blocks overlapping ``[offset, offset + nbytes)``."""
+        if offset < 0 or nbytes <= 0:
+            raise ValueError(
+                f"bad range offset={offset} nbytes={nbytes}"
+            )
+        if offset + nbytes > self.dataset.size + 1e-6:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) exceeds dataset "
+                f"size {self.dataset.size}"
+            )
+        first = int(offset // self.dataset.block_size)
+        last = int(
+            -(-(offset + nbytes) // self.dataset.block_size)
+        )
+        return range(first, last)
+
+    def plan_read(
+        self, offset: float, nbytes: float
+    ) -> Dict[str, Tuple[int, float]]:
+        """Per-server work for a range read.
+
+        Returns ``{server: (n_blocks, n_bytes)}`` where bytes account
+        for partial first/last blocks. This is the master's answer to
+        a logical block request (Figure 7's "logical to physical block
+        lookup").
+        """
+        blocks = self.blocks_for_range(offset, nbytes)
+        out: Dict[str, Tuple[int, float]] = {}
+        bs = self.dataset.block_size
+        for block in blocks:
+            lo = max(block * bs, offset)
+            hi = min((block + 1) * bs, offset + nbytes, self.dataset.size)
+            server = self.server_of_block(block)
+            n, b = out.get(server, (0, 0.0))
+            out[server] = (n + 1, b + max(hi - lo, 0.0))
+        return out

@@ -1,0 +1,326 @@
+"""The DPSS client library: parallel, per-server block reads.
+
+Mirrors the API the paper names ("dpssOpen(), dpssRead(), dpssWrite(),
+dpssLSeek(), dpssClose()"). Each client keeps one persistent TCP
+connection per block server -- "the DPSS client library is
+multi-threaded, where the number of client threads is equal to the
+number of DPSS servers. Therefore the speed of the client scales with
+the speed of the server" (section 3.5) -- and a read fans out over all
+servers holding blocks of the requested range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.dpss.blocks import BlockMap
+from repro.dpss.compression import CompressionModel
+from repro.netsim.tcp import TcpConnection, TcpParams
+from repro.simcore.events import Event
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dpss.master import DpssMaster
+    from repro.netsim.topology import Network
+
+
+@dataclass
+class ReadStats:
+    """Outcome of one dpss_read."""
+
+    nbytes: float
+    start: float
+    end: float
+    per_server_bytes: Dict[str, float] = field(default_factory=dict)
+    cache_hit_blocks: int = 0
+    total_blocks: int = 0
+    #: bytes that actually crossed the network (< nbytes when wire
+    #: compression is enabled)
+    wire_bytes: float = 0.0
+    #: client CPU time spent inflating compressed blocks
+    decompress_seconds: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate goodput in bytes/second."""
+        return self.nbytes / self.duration if self.duration > 0 else float("inf")
+
+
+@dataclass
+class DpssHandle:
+    """An open dataset: its block map plus a seek position."""
+
+    block_map: BlockMap
+    position: float = 0.0
+    closed: bool = False
+
+    @property
+    def size(self) -> float:
+        return self.block_map.dataset.size
+
+
+class DpssClient:
+    """A client endpoint bound to one host and one master."""
+
+    def __init__(
+        self,
+        network: "Network",
+        host_name: str,
+        master: "DpssMaster",
+        *,
+        tcp_params: Optional[TcpParams] = None,
+        compression: Optional[CompressionModel] = None,
+    ):
+        self.network = network
+        self.host_name = host_name
+        self.master = master
+        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
+        #: optional wire-level compression (section 5 future work)
+        self.compression = compression
+        self._server_conns: Dict[str, TcpConnection] = {}
+
+    def _connection_to(self, server_name: str) -> TcpConnection:
+        if server_name not in self._server_conns:
+            server = self.master.servers[server_name]
+            self._server_conns[server_name] = TcpConnection(
+                self.network,
+                server.host.name,
+                self.host_name,
+                self.tcp_params,
+                extra_usage={server.disks: 1.0},
+            )
+        return self._server_conns[server_name]
+
+    # -- API (dpssOpen / dpssRead / dpssLSeek / dpssClose) --------------
+    def open(self, dataset_name: str) -> Event:
+        """Contact the master and open a dataset; value is a handle."""
+        return self.network.env.process(self._open_proc(dataset_name))
+
+    def _open_proc(self, dataset_name: str):
+        env = self.network.env
+        route = self.network.route(self.host_name, self.master.host.name)
+        # Request/response to the master plus its lookup handling time.
+        yield env.timeout(route.rtt + self.master.lookup_latency)
+        block_map = self.master.lookup(dataset_name, self.host_name)
+        return DpssHandle(block_map=block_map)
+
+    def lseek(self, handle: DpssHandle, offset: float) -> float:
+        """Set the handle's position; returns the new position."""
+        self._check_open(handle)
+        if offset < 0 or offset > handle.size:
+            raise ValueError(
+                f"offset {offset} outside [0, {handle.size}]"
+            )
+        handle.position = float(offset)
+        return handle.position
+
+    def read(
+        self,
+        handle: DpssHandle,
+        nbytes: float,
+        *,
+        offset: Optional[float] = None,
+        label: str = "dpss",
+    ) -> Event:
+        """Read ``nbytes`` at the current (or given) offset.
+
+        Block-level access is the point of the DPSS: "provides block
+        level access, eliminating the need to transfer the entire file
+        across the network." The returned event's value is a
+        :class:`ReadStats`. The handle's position advances past the
+        read.
+        """
+        self._check_open(handle)
+        check_positive("nbytes", nbytes)
+        start_at = handle.position if offset is None else float(offset)
+        if start_at < 0 or start_at + nbytes > handle.size + 1e-6:
+            raise ValueError(
+                f"read [{start_at}, {start_at + nbytes}) outside dataset "
+                f"of size {handle.size}"
+            )
+        handle.position = start_at + nbytes
+        return self.network.env.process(
+            self._read_proc(handle, start_at, nbytes, label)
+        )
+
+    def _read_proc(self, handle: DpssHandle, offset: float, nbytes: float,
+                   label: str):
+        env = self.network.env
+        start = env.now
+        block_map = handle.block_map
+        dataset = block_map.dataset
+        plan = block_map.plan_read(offset, nbytes)
+
+        # Probe each server's cache for the blocks it will serve; hits
+        # bypass the disk pool (handled inside the transfer via a
+        # reduced disk coefficient).
+        stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
+        events = []
+        blocks = block_map.blocks_for_range(offset, nbytes)
+        per_server_blocks: Dict[str, list] = {}
+        for b in blocks:
+            per_server_blocks.setdefault(
+                block_map.server_of_block(b), []
+            ).append(b)
+
+        # Validate the whole plan before any sub-read starts, so a
+        # failed read leaves no dangling transfers on shared
+        # connections.
+        for server_name in plan:
+            if not self.master.servers[server_name].online:
+                from repro.dpss.master import ServerUnavailable
+
+                raise ServerUnavailable(
+                    f"server {server_name!r} holds blocks of "
+                    f"{dataset.name!r} but is offline"
+                )
+
+        for server_name, (n_blocks, n_bytes) in plan.items():
+            server = self.master.servers[server_name]
+            hits, misses = server.cache_lookup(
+                dataset.name, per_server_blocks[server_name],
+                dataset.block_size,
+            )
+            stats.cache_hit_blocks += hits
+            stats.total_blocks += n_blocks
+            conn = self._connection_to(server_name)
+            disk_fraction = misses / n_blocks if n_blocks else 0.0
+            wire = (
+                self.compression.wire_bytes(n_bytes)
+                if self.compression is not None
+                else n_bytes
+            )
+            stats.wire_bytes += wire
+            events.append(
+                env.process(
+                    self._server_read(
+                        conn, server, wire, disk_fraction, label
+                    )
+                )
+            )
+            stats.per_server_bytes[server_name] = n_bytes
+
+        if events:
+            yield env.all_of(events)
+        if self.compression is not None:
+            # Inflate on the client: CPU time that competes with any
+            # co-located rendering -- the compression trade-off.
+            cpu = self.compression.decompress_seconds(nbytes)
+            stats.decompress_seconds = cpu
+            host = self.network.hosts[self.host_name]
+            yield host.compute(cpu, label=f"{label}:inflate")
+        stats.end = env.now
+        return stats
+
+    def _server_read(self, conn: TcpConnection, server, n_bytes: float,
+                     disk_fraction: float, label: str):
+        env = self.network.env
+        # One batched block request: half an RTT for the request to
+        # arrive plus the server's request-handling overhead.
+        route = self.network.route(self.host_name, server.host.name)
+        yield env.timeout(route.rtt / 2.0 + server.per_request_overhead)
+        # Cache hits skip the disks: scale the flow's disk usage.
+        original = conn._usage.get(server.disks, 1.0)
+        conn._usage[server.disks] = disk_fraction
+        try:
+            stats = yield conn.send(n_bytes, label=f"{label}:{server.name}")
+        finally:
+            conn._usage[server.disks] = original
+        return stats
+
+    def write(
+        self,
+        handle: DpssHandle,
+        nbytes: float,
+        *,
+        offset: Optional[float] = None,
+        label: str = "dpss-write",
+    ) -> Event:
+        """Write ``nbytes`` at the current (or given) offset (dpssWrite).
+
+        Data flows client -> servers along the same striping; written
+        blocks land in each server's RAM cache (they are the freshest
+        copies). The handle's position advances past the write.
+        """
+        self._check_open(handle)
+        check_positive("nbytes", nbytes)
+        start_at = handle.position if offset is None else float(offset)
+        if start_at < 0 or start_at + nbytes > handle.size + 1e-6:
+            raise ValueError(
+                f"write [{start_at}, {start_at + nbytes}) outside dataset "
+                f"of size {handle.size}"
+            )
+        handle.position = start_at + nbytes
+        return self.network.env.process(
+            self._write_proc(handle, start_at, nbytes, label)
+        )
+
+    def _write_proc(self, handle: DpssHandle, offset: float, nbytes: float,
+                    label: str):
+        env = self.network.env
+        start = env.now
+        block_map = handle.block_map
+        dataset = block_map.dataset
+        plan = block_map.plan_read(offset, nbytes)
+        blocks = block_map.blocks_for_range(offset, nbytes)
+        per_server_blocks: Dict[str, list] = {}
+        for b in blocks:
+            per_server_blocks.setdefault(
+                block_map.server_of_block(b), []
+            ).append(b)
+
+        stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
+        events = []
+        for server_name, (n_blocks, n_bytes) in plan.items():
+            server = self.master.servers[server_name]
+            # Freshly written blocks become cache-resident.
+            server.cache_lookup(
+                dataset.name, per_server_blocks[server_name],
+                dataset.block_size,
+            )
+            stats.total_blocks += n_blocks
+            conn = self._write_connection_to(server_name)
+            events.append(
+                env.process(
+                    self._server_write(conn, server, n_bytes, label)
+                )
+            )
+            stats.per_server_bytes[server_name] = n_bytes
+            stats.wire_bytes += n_bytes
+        if events:
+            yield env.all_of(events)
+        stats.end = env.now
+        return stats
+
+    def _write_connection_to(self, server_name: str) -> TcpConnection:
+        key = f"w:{server_name}"
+        if key not in self._server_conns:
+            server = self.master.servers[server_name]
+            self._server_conns[key] = TcpConnection(
+                self.network,
+                self.host_name,
+                server.host.name,
+                self.tcp_params,
+                extra_usage={server.disks: 1.0},
+            )
+        return self._server_conns[key]
+
+    def _server_write(self, conn: TcpConnection, server, n_bytes: float,
+                      label: str):
+        env = self.network.env
+        yield env.timeout(server.per_request_overhead)
+        stats = yield conn.send(n_bytes, label=f"{label}:{server.name}")
+        return stats
+
+    def close(self, handle: DpssHandle) -> None:
+        """Close a handle; further operations on it raise."""
+        handle.closed = True
+
+    def _check_open(self, handle: DpssHandle) -> None:
+        if handle.closed:
+            raise ValueError("operation on closed DPSS handle")

@@ -1,0 +1,93 @@
+"""The DPSS master: lookup, access control, load balancing."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.dpss.blocks import BlockMap, DpssDataset
+from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dpss.server import DpssServer
+    from repro.netsim.host import Host
+
+
+class AccessDenied(PermissionError):
+    """Raised when a client is not authorised for a dataset.
+
+    "access to DPSS systems is typically provided on an as-needed
+    basis" (section 5) -- the master enforces it.
+    """
+
+
+class ServerUnavailable(ConnectionError):
+    """Raised when a read needs blocks from an offline server.
+
+    The DPSS stripes without replication, so losing a server makes a
+    stripe's blocks unreachable until it returns.
+    """
+
+
+class DpssMaster:
+    """Keeps the dataset registry and answers block-lookup requests.
+
+    ``lookup_latency`` models the master's request handling time on
+    top of the network round trip ("logical to physical block lookup,
+    access control, load balancing", Figure 7).
+    """
+
+    def __init__(self, host: "Host", *, lookup_latency: float = 0.002):
+        check_non_negative("lookup_latency", lookup_latency)
+        self.host = host
+        self.name = host.name
+        self.lookup_latency = float(lookup_latency)
+        self.servers: Dict[str, "DpssServer"] = {}
+        self._maps: Dict[str, BlockMap] = {}
+        #: dataset -> allowed client host names; absent = world readable
+        self._acl: Dict[str, Set[str]] = {}
+
+    def add_server(self, server: "DpssServer") -> "DpssServer":
+        """Register a block server with this master."""
+        if server.name in self.servers:
+            raise ValueError(f"duplicate server {server.name!r}")
+        self.servers[server.name] = server
+        return server
+
+    def register_dataset(
+        self,
+        dataset: DpssDataset,
+        *,
+        servers: Optional[List[str]] = None,
+        allowed_clients: Optional[List[str]] = None,
+    ) -> BlockMap:
+        """Stripe a dataset across servers (all of them by default)."""
+        if dataset.name in self._maps:
+            raise ValueError(f"dataset {dataset.name!r} already registered")
+        if servers is None:
+            servers = sorted(self.servers)
+        if not servers:
+            raise ValueError("no servers registered")
+        for name in servers:
+            if name not in self.servers:
+                raise KeyError(f"unknown server {name!r}")
+        block_map = BlockMap(dataset, servers)
+        self._maps[dataset.name] = block_map
+        if allowed_clients is not None:
+            self._acl[dataset.name] = set(allowed_clients)
+        return block_map
+
+    def lookup(self, dataset_name: str, client_host: str) -> BlockMap:
+        """Resolve a dataset for a client, enforcing the ACL."""
+        if dataset_name not in self._maps:
+            raise KeyError(f"unknown dataset {dataset_name!r}")
+        acl = self._acl.get(dataset_name)
+        if acl is not None and client_host not in acl:
+            raise AccessDenied(
+                f"client {client_host!r} not authorised for "
+                f"{dataset_name!r}"
+            )
+        return self._maps[dataset_name]
+
+    def datasets(self) -> List[str]:
+        """Names of registered datasets."""
+        return sorted(self._maps)

@@ -1,0 +1,22 @@
+"""HPSS tertiary-storage model and HPSS-to-DPSS staging.
+
+"These data sets ... are often stored on archival systems such as
+HPSS, a high performance tertiary storage system. ... archival systems
+such as the HPSS are not typically tuned for wide-area network access,
+and only provide full file, not block level, access to data.
+Therefore, we can migrate the files from HPSS to a nearby DPSS cache"
+(section 3.5). The archive model captures exactly those properties:
+tape-mount latency, moderate streaming rate, and whole-file-only
+access; :func:`~repro.hpss.migration.migrate_to_dpss` performs the
+one-time staging that makes block-level WAN access possible.
+"""
+
+from repro.hpss.archive import ArchiveFile, HpssArchive
+from repro.hpss.migration import MigrationResult, migrate_to_dpss
+
+__all__ = [
+    "ArchiveFile",
+    "HpssArchive",
+    "MigrationResult",
+    "migrate_to_dpss",
+]

@@ -1,0 +1,75 @@
+"""Staging archived files into the DPSS cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.dpss.blocks import DpssDataset
+from repro.simcore.events import Event
+from repro.util.units import KIB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dpss.master import DpssMaster
+    from repro.hpss.archive import HpssArchive
+    from repro.netsim.topology import Network
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of staging one file into the DPSS."""
+
+    dataset_name: str
+    nbytes: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+def migrate_to_dpss(
+    network: "Network",
+    archive: "HpssArchive",
+    file_name: str,
+    master: "DpssMaster",
+    *,
+    block_size: float = 64 * KIB,
+    servers: Optional[List[str]] = None,
+    allowed_clients: Optional[List[str]] = None,
+) -> Event:
+    """Stage an archived file into the DPSS as a striped dataset.
+
+    The file streams (whole, tape-rate-limited) from the archive host
+    to the DPSS master's site, then is registered with the master,
+    striped across the block servers. The event's value is a
+    :class:`MigrationResult`; after it fires, clients can block-read
+    the dataset at DPSS speeds.
+    """
+    env = network.env
+
+    def proc():
+        start = env.now
+        file = archive.lookup(file_name)
+        stats = yield archive.retrieve(
+            network, file_name, master.host.name, label="migrate"
+        )
+        dataset = DpssDataset(
+            name=file_name, size=file.size, block_size=block_size
+        )
+        master.register_dataset(
+            dataset, servers=servers, allowed_clients=allowed_clients
+        )
+        return MigrationResult(
+            dataset_name=file_name,
+            nbytes=file.size,
+            start=start,
+            end=env.now,
+        )
+
+    return env.process(proc())

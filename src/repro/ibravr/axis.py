@@ -1,0 +1,63 @@
+"""Best-view-axis selection.
+
+"On a per-frame basis, the Visapult viewer computes the best view
+axis, and transmits this information to the back end. The back end
+uses this information in order to select from either X-, Y-, or Z-axis
+aligned data slabs" (section 3.3). Axis switching keeps the view
+within the artifact-free cone whenever the rotation strays too far
+from the current slab axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AxisChoice:
+    """A slab axis (0, 1 or 2) and which side faces the camera."""
+
+    axis: int
+    #: True when the view comes from the negative side of the axis
+    flip: bool
+
+    def __post_init__(self):
+        if self.axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {self.axis}")
+
+
+def best_view_axis(view_dir: np.ndarray) -> AxisChoice:
+    """Axis most closely aligned with the view direction.
+
+    ``view_dir`` points from the camera toward the model. The chosen
+    axis maximises ``|view_dir . axis|``; ``flip`` records the sign so
+    slabs composite in the right depth order.
+    """
+    d = np.asarray(view_dir, dtype=np.float64)
+    if d.shape != (3,):
+        raise ValueError(f"view_dir must be a 3-vector, got shape {d.shape}")
+    norm = np.linalg.norm(d)
+    if norm == 0:
+        raise ValueError("view_dir must be non-zero")
+    d = d / norm
+    axis = int(np.argmax(np.abs(d)))
+    return AxisChoice(axis=axis, flip=bool(d[axis] < 0))
+
+
+def off_axis_angle(view_dir: np.ndarray, axis: int) -> float:
+    """Angle in degrees between the view direction and a slab axis.
+
+    The IBRAVR literature reports objects "viewed within a cone of
+    about sixteen degrees will appear to be relatively free of visual
+    artifacts"; this is the cone angle being measured.
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    d = np.asarray(view_dir, dtype=np.float64)
+    norm = np.linalg.norm(d)
+    if norm == 0:
+        raise ValueError("view_dir must be non-zero")
+    cosang = abs(d[axis]) / norm
+    return float(np.degrees(np.arccos(np.clip(cosang, -1.0, 1.0))))

@@ -1,0 +1,20 @@
+"""Thread-backed message passing: the live pipeline's MPI stand-in.
+
+The paper's back end "is implemented using MPI as the multiprocessing
+and IPC framework", extended with a detached pthread reader per PE and
+a pair of SysV semaphores guarding a double-buffered shared block
+(Appendix B). This package provides those primitives for the live
+(threaded) pipeline:
+
+- :class:`~repro.mpc.comm.Communicator` -- rank-addressed send/recv,
+  barrier, broadcast, gather over threads;
+- :func:`~repro.mpc.comm.run_spmd` -- launch one thread per rank;
+- :class:`~repro.mpc.pairs.SemaphorePair` and
+  :class:`~repro.mpc.pairs.DoubleBuffer` -- Appendix B's reader/render
+  handshake and even/odd frame buffer.
+"""
+
+from repro.mpc.comm import Communicator, run_spmd
+from repro.mpc.pairs import DoubleBuffer, SemaphorePair
+
+__all__ = ["Communicator", "run_spmd", "DoubleBuffer", "SemaphorePair"]

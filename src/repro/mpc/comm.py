@@ -1,0 +1,153 @@
+"""A small MPI-flavoured communicator over threads."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class Communicator:
+    """Rank-addressed point-to-point and collective operations.
+
+    Messages are (source, tag, payload) tuples delivered through
+    per-rank mailboxes; ``recv`` can match a specific source/tag or
+    accept any. Collectives (barrier, bcast, gather) follow MPI
+    semantics: every rank must call them, in the same order.
+    """
+
+    ANY_SOURCE = -1
+    ANY_TAG = -1
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._size = size
+        self._mailboxes: List["queue.Queue"] = [
+            queue.Queue() for _ in range(size)
+        ]
+        #: unmatched messages a rank has popped but not consumed
+        self._stashes: List[List[Tuple[int, int, Any]]] = [
+            [] for _ in range(size)
+        ]
+        self._barrier = threading.Barrier(size)
+        self._bcast_slot: Dict[int, Any] = {}
+        self._gather_slots: Dict[int, Dict[int, Any]] = {}
+        self._coll_lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self._size
+
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not 0 <= rank < self._size:
+            raise ValueError(f"{name} {rank} outside [0, {self._size})")
+
+    # -- point to point ------------------------------------------------------
+    def send(self, dest: int, payload: Any, *, source: int, tag: int = 0) -> None:
+        """Deliver ``payload`` to ``dest``'s mailbox (non-blocking)."""
+        self._check_rank(dest, "dest")
+        self._check_rank(source, "source")
+        self._mailboxes[dest].put((source, tag, payload))
+
+    def recv(
+        self,
+        *,
+        rank: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, int, Any]:
+        """Blocking receive matching (source, tag); returns the triple.
+
+        Non-matching messages are stashed and re-examined on later
+        calls, preserving arrival order per (source, tag).
+        """
+        self._check_rank(rank, "rank")
+        stash = self._stashes[rank]
+        for i, msg in enumerate(stash):
+            if self._matches(msg, source, tag):
+                return stash.pop(i)
+        while True:
+            msg = self._mailboxes[rank].get(timeout=timeout)
+            if self._matches(msg, source, tag):
+                return msg
+            stash.append(msg)
+
+    @staticmethod
+    def _matches(msg: Tuple[int, int, Any], source: int, tag: int) -> bool:
+        s, t, _ = msg
+        return (source == Communicator.ANY_SOURCE or s == source) and (
+            tag == Communicator.ANY_TAG or t == tag
+        )
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank arrives."""
+        self._barrier.wait()
+
+    def bcast(self, value: Any, *, root: int, rank: int) -> Any:
+        """Broadcast ``value`` from ``root`` to all ranks."""
+        self._check_rank(root, "root")
+        self._check_rank(rank, "rank")
+        if rank == root:
+            self._bcast_slot[root] = value
+        self._barrier.wait()
+        result = self._bcast_slot[root]
+        self._barrier.wait()
+        return result
+
+    def gather(self, value: Any, *, root: int, rank: int) -> Optional[List[Any]]:
+        """Gather every rank's value at ``root`` (None elsewhere)."""
+        self._check_rank(root, "root")
+        self._check_rank(rank, "rank")
+        with self._coll_lock:
+            self._gather_slots.setdefault(root, {})[rank] = value
+        self._barrier.wait()
+        result = None
+        if rank == root:
+            slot = self._gather_slots[root]
+            result = [slot[r] for r in range(self._size)]
+        self._barrier.wait()
+        if rank == root:
+            self._gather_slots.pop(root, None)
+        return result
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[[Communicator, int], Any],
+    *,
+    timeout: Optional[float] = 60.0,
+) -> List[Any]:
+    """Run ``fn(comm, rank)`` on ``size`` threads; return rank results.
+
+    Any rank's exception is re-raised in the caller after all threads
+    have been joined, so failures surface instead of deadlocking.
+    """
+    comm = Communicator(size)
+    results: List[Any] = [None] * size
+    errors: List[BaseException] = []
+
+    def wrapper(rank: int) -> None:
+        try:
+            results[rank] = fn(comm, rank)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+            comm._barrier.abort()
+
+    threads = [
+        threading.Thread(target=wrapper, args=(r,), name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    if errors:
+        raise errors[0]
+    if alive:
+        raise TimeoutError(f"ranks did not finish: {alive}")
+    return results

@@ -1,0 +1,93 @@
+"""Appendix B's primitives: the semaphore pair and the double buffer."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+
+class SemaphorePair:
+    """The two SysV semaphores of Appendix B.
+
+    Semaphore A is "an execution barrier from the perspective of the
+    reader thread"; semaphore B the same for the render process. The
+    render process posts A to hand the reader a command and waits on B
+    for completion; the reader waits on A and posts B.
+    """
+
+    def __init__(self):
+        self._a = threading.Semaphore(0)
+        self._b = threading.Semaphore(0)
+        #: shared control word: which timestep to read, or EXIT
+        self.command: Optional[int] = None
+
+    EXIT = -1
+
+    # -- render-process side ----------------------------------------------
+    def request(self, timestep: int) -> None:
+        """Ask the reader to load ``timestep`` (sem_post A)."""
+        if timestep < 0:
+            raise ValueError(f"timestep must be >= 0, got {timestep}")
+        self.command = timestep
+        self._a.release()
+
+    def request_exit(self) -> None:
+        """Ask the reader to terminate."""
+        self.command = self.EXIT
+        self._a.release()
+
+    def wait_data(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the reader posts completion (sem_wait B)."""
+        return self._b.acquire(timeout=timeout)
+
+    # -- reader-thread side ---------------------------------------------------
+    def wait_command(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Wait for a command (sem_wait A); None on timeout."""
+        if not self._a.acquire(timeout=timeout):
+            return None
+        return self.command
+
+    def post_data(self) -> None:
+        """Signal that the requested data is resident (sem_post B)."""
+        self._b.release()
+
+
+class DoubleBuffer:
+    """The even/odd shared memory block of Appendix B.
+
+    "This memory is considered to be double-buffered: its size is
+    twice that of a single time step's worth of data, and the reader
+    thread will use one half of the buffer for writing into, while the
+    render process reads from the other half. Access control is
+    implicit as a function of the time step using an even-odd
+    decomposition."
+    """
+
+    def __init__(self):
+        self._slots: list = [None, None]
+        self._stamped: list = [None, None]
+
+    def write(self, timestep: int, data: Any) -> None:
+        """Reader side: deposit a timestep's data in its parity slot."""
+        if timestep < 0:
+            raise ValueError(f"timestep must be >= 0, got {timestep}")
+        slot = timestep % 2
+        self._slots[slot] = data
+        self._stamped[slot] = timestep
+
+    def read(self, timestep: int) -> Any:
+        """Render side: fetch a timestep's data from its parity slot.
+
+        Raises if the slot holds a different timestep -- that would
+        mean the semaphore protocol was violated and the reader
+        overwrote data still being rendered.
+        """
+        if timestep < 0:
+            raise ValueError(f"timestep must be >= 0, got {timestep}")
+        slot = timestep % 2
+        if self._stamped[slot] != timestep:
+            raise RuntimeError(
+                f"double-buffer violation: slot {slot} holds timestep "
+                f"{self._stamped[slot]!r}, wanted {timestep}"
+            )
+        return self._slots[slot]

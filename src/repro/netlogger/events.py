@@ -1,0 +1,122 @@
+"""NetLogger event records, the Visapult tag vocabulary, ULM format.
+
+Tags follow Tables 1 and 2 of the paper exactly; the ULM line format
+follows the NetLogger convention of ``KEY=value`` fields with ``DATE``,
+``HOST``, ``PROG``, ``LVL`` and ``NL.EVNT`` always present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Tags:
+    """Event tags instrumenting the Visapult pipeline (Tables 1-2)."""
+
+    # -- back end (Table 2) ------------------------------------------
+    BE_FRAME_START = "BE_FRAME_START"
+    BE_LOAD_START = "BE_LOAD_START"
+    BE_LOAD_END = "BE_LOAD_END"
+    BE_LIGHT_SEND = "BE_LIGHT_SEND"
+    BE_LIGHT_END = "BE_LIGHT_END"
+    BE_RENDER_START = "BE_RENDER_START"
+    BE_RENDER_END = "BE_RENDER_END"
+    BE_HEAVY_SEND = "BE_HEAVY_SEND"
+    BE_HEAVY_END = "BE_HEAVY_END"
+    BE_FRAME_END = "BE_FRAME_END"
+
+    # -- viewer (Table 1) --------------------------------------------
+    V_FRAME_START = "V_FRAME_START"
+    V_LIGHTPAYLOAD_START = "V_LIGHTPAYLOAD_START"
+    V_LIGHTPAYLOAD_END = "V_LIGHTPAYLOAD_END"
+    V_HEAVYPAYLOAD_START = "V_HEAVYPAYLOAD_START"
+    V_HEAVYPAYLOAD_END = "V_HEAVYPAYLOAD_END"
+    V_FRAME_END = "V_FRAME_END"
+
+
+BACKEND_TAGS = (
+    Tags.BE_FRAME_START,
+    Tags.BE_LOAD_START,
+    Tags.BE_LOAD_END,
+    Tags.BE_LIGHT_SEND,
+    Tags.BE_LIGHT_END,
+    Tags.BE_RENDER_START,
+    Tags.BE_RENDER_END,
+    Tags.BE_HEAVY_SEND,
+    Tags.BE_HEAVY_END,
+    Tags.BE_FRAME_END,
+)
+
+VIEWER_TAGS = (
+    Tags.V_FRAME_START,
+    Tags.V_LIGHTPAYLOAD_START,
+    Tags.V_LIGHTPAYLOAD_END,
+    Tags.V_HEAVYPAYLOAD_START,
+    Tags.V_HEAVYPAYLOAD_END,
+    Tags.V_FRAME_END,
+)
+
+
+@dataclass(frozen=True)
+class NetLogEvent:
+    """One instrumentation event."""
+
+    ts: float
+    event: str
+    host: str
+    prog: str
+    level: str = "Usage"
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch an auxiliary field (FRAME, RANK, NBYTES, ...)."""
+        return self.data.get(key, default)
+
+
+def format_ulm(event: NetLogEvent) -> str:
+    """Serialise an event as one ULM log line."""
+    parts = [
+        f"DATE={event.ts:.6f}",
+        f"HOST={event.host}",
+        f"PROG={event.prog}",
+        f"LVL={event.level}",
+        f"NL.EVNT={event.event}",
+    ]
+    for key in sorted(event.data):
+        value = event.data[key]
+        text = f"{value:.6f}" if isinstance(value, float) else str(value)
+        if any(ch.isspace() for ch in text):
+            raise ValueError(
+                f"ULM values may not contain whitespace: {key}={text!r}"
+            )
+        parts.append(f"{key.upper()}={text}")
+    return " ".join(parts)
+
+
+def parse_ulm(line: str) -> NetLogEvent:
+    """Parse one ULM log line back into an event."""
+    fields: Dict[str, str] = {}
+    for token in line.split():
+        if "=" not in token:
+            raise ValueError(f"malformed ULM token {token!r} in {line!r}")
+        key, _, value = token.partition("=")
+        fields[key] = value
+    try:
+        ts = float(fields.pop("DATE"))
+        host = fields.pop("HOST")
+        prog = fields.pop("PROG")
+        level = fields.pop("LVL")
+        event = fields.pop("NL.EVNT")
+    except KeyError as exc:
+        raise ValueError(f"ULM line missing required field {exc}") from exc
+    data: Dict[str, Any] = {}
+    for key, value in fields.items():
+        try:
+            num = float(value)
+            data[key.lower()] = int(num) if num.is_integer() else num
+        except ValueError:
+            data[key.lower()] = value
+    return NetLogEvent(
+        ts=ts, event=event, host=host, prog=prog, level=level, data=data
+    )

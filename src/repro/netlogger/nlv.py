@@ -1,0 +1,174 @@
+"""NLV-style plots, rendered as text.
+
+"NLV, the NetLogger visualization tool, generates two dimensional
+plots from the raw data accumulated during a run" (section 3.6). The
+figures in the paper put event tags on the vertical axis and time on
+the horizontal axis, one mark per event; :func:`lifeline_plot`
+reproduces that layout in a terminal. :func:`series_plot` is a small
+scatter/series plot for derived quantities (per-frame load times
+etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlogger.analysis import EventLog
+from repro.netlogger.events import BACKEND_TAGS, VIEWER_TAGS
+
+
+def lifeline_plot(
+    log: EventLog,
+    tags: Optional[Sequence[str]] = None,
+    *,
+    width: int = 100,
+    marker_even: str = "o",
+    marker_odd: str = "x",
+) -> str:
+    """ASCII event-lifeline plot in the style of Figures 10/12-17.
+
+    Rows are event tags bottom-to-top in pipeline order; columns are
+    time. Events on even frames use one marker, odd frames the other,
+    mirroring the red/blue alternation of the paper's NLV figures.
+    """
+    if width < 20:
+        raise ValueError("width must be >= 20")
+    if tags is None:
+        present = {ev.event for ev in log.events}
+        tags = [t for t in (VIEWER_TAGS[::-1] + BACKEND_TAGS[::-1]) if t in present]
+        tags = list(tags)
+    if not log.events or not tags:
+        return "(empty log)"
+
+    t0 = log.events[0].ts
+    t1 = log.events[-1].ts
+    span = max(t1 - t0, 1e-9)
+    label_width = max(len(t) for t in tags) + 1
+    plot_width = width - label_width - 1
+
+    rows: Dict[str, List[str]] = {
+        tag: [" "] * plot_width for tag in tags
+    }
+    for ev in log.events:
+        if ev.event not in rows:
+            continue
+        col = int((ev.ts - t0) / span * (plot_width - 1))
+        frame = ev.get("frame", 0) or 0
+        marker = marker_even if frame % 2 == 0 else marker_odd
+        rows[ev.event][col] = marker
+
+    lines = []
+    for tag in tags:
+        lines.append(f"{tag:>{label_width}}|{''.join(rows[tag])}")
+    axis = f"{'':>{label_width}}+{'-' * plot_width}"
+    labels = (
+        f"{'':>{label_width}} {t0:<12.2f}"
+        f"{'time/sec':^{max(plot_width - 24, 8)}}{t1:>12.2f}"
+    )
+    return "\n".join(lines + [axis, labels])
+
+
+def series_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Scatter multiple (x, y) series in one ASCII frame.
+
+    Each series gets a distinct marker; axes autoscale over all data.
+    """
+    if width < 20 or height < 5:
+        raise ValueError("plot too small")
+    markers = "ox+*#@%&"
+    points = [
+        (x, y, markers[i % len(markers)])
+        for i, (_, pts) in enumerate(sorted(series.items()))
+        for x, y in pts
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, m in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(legend)
+    lines.append(f"y: [{y_lo:.3g}, {y_hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_lo:.3g}, {x_hi:.3g}]")
+    return "\n".join(lines)
+
+
+def span_gantt(
+    log: EventLog,
+    *,
+    width: int = 100,
+) -> str:
+    """Gantt-style span chart: per-rank bars for L and R.
+
+    Rows are (rank, activity) pairs; bars span BE_LOAD (``=``) and
+    BE_RENDER (``#``) intervals. This is the reading the paper does of
+    Figures 12-17 ("the time spent in each PE performing rendering
+    ... and loading data") made explicit.
+    """
+    if width < 30:
+        raise ValueError("width must be >= 30")
+    span_sets = [
+        ("load", "=", log.load_spans()),
+        ("render", "#", log.render_spans()),
+    ]
+    all_spans = [s for _, _, spans in span_sets for s in spans]
+    if not all_spans:
+        return "(no spans)"
+    t0 = min(s.start for s in all_spans)
+    t1 = max(s.end for s in all_spans)
+    extent = max(t1 - t0, 1e-9)
+
+    ranks = sorted(
+        {s.rank for s in all_spans if s.rank is not None},
+        key=lambda r: (r is None, r),
+    )
+    if not ranks:
+        ranks = [None]
+    label_width = max(len(f"pe{r} render") for r in ranks) + 1
+    plot_width = width - label_width - 1
+
+    lines = []
+    for rank in ranks:
+        for name, glyph, spans in span_sets:
+            row = [" "] * plot_width
+            for s in spans:
+                if s.rank != rank:
+                    continue
+                lo = int((s.start - t0) / extent * (plot_width - 1))
+                hi = int((s.end - t0) / extent * (plot_width - 1))
+                for c in range(lo, max(hi, lo) + 1):
+                    row[c] = glyph
+            label = f"pe{rank} {name}" if rank is not None else name
+            lines.append(f"{label:>{label_width}}|{''.join(row)}")
+    lines.append(f"{'':>{label_width}}+{'-' * plot_width}")
+    lines.append(
+        f"{'':>{label_width}} {t0:<10.2f}"
+        f"{'time/sec (= load, # render)':^{max(plot_width - 22, 10)}}"
+        f"{t1:>10.2f}"
+    )
+    return "\n".join(lines)

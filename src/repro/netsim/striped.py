@@ -1,0 +1,75 @@
+"""Striped sockets: Visapult's viewer<->back end transport.
+
+The viewer maintains one receiving thread per back end PE, each with
+its own TCP connection ("multiple simultaneous network connections ...
+implemented with a custom TCP-based protocol over striped sockets",
+section 3.4). A striped connection bundles N independent TCP streams
+between the same pair of hosts and scatters each payload across them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.simcore.events import Event
+from repro.netsim.tcp import TcpConnection, TcpParams, TransferStats
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.topology import Network
+
+
+class StripedConnection:
+    """N parallel TCP streams between one src/dst pair."""
+
+    def __init__(
+        self,
+        network: "Network",
+        src: str,
+        dst: str,
+        n_stripes: int,
+        params: Optional[TcpParams] = None,
+    ):
+        if n_stripes < 1:
+            raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.stripes: List[TcpConnection] = [
+            TcpConnection(network, src, dst, params) for _ in range(n_stripes)
+        ]
+
+    @property
+    def n_stripes(self) -> int:
+        """Number of underlying TCP streams."""
+        return len(self.stripes)
+
+    def send(self, nbytes: float, *, label: str = "striped") -> Event:
+        """Scatter ``nbytes`` evenly over all stripes.
+
+        Fires when every stripe has delivered its share; value is an
+        aggregate :class:`TransferStats`.
+        """
+        check_positive("nbytes", nbytes)
+        return self.network.env.process(self._send_proc(nbytes, label))
+
+    def _send_proc(self, nbytes: float, label: str):
+        env = self.network.env
+        share = nbytes / len(self.stripes)
+        start = env.now
+        events = [
+            conn.send(share, label=f"{label}[{i}]")
+            for i, conn in enumerate(self.stripes)
+        ]
+        results = yield env.all_of(events)
+        stats = list(results.values())
+        return TransferStats(
+            nbytes=float(nbytes),
+            start=start,
+            sent=max(s.sent for s in stats),
+            delivered=max(s.delivered for s in stats),
+        )
+
+    def total_delivered(self) -> float:
+        """Bytes delivered across all stripes so far."""
+        return sum(c.total_delivered() for c in self.stripes)

@@ -1,0 +1,44 @@
+"""Visapult's custom TCP wire protocol.
+
+Section 3.4: the viewer's I/O threads receive data "over multiple
+simultaneous network connections (implemented with a custom TCP-based
+protocol over striped sockets)". Each payload is either *light*
+(visualization metadata, ~256 bytes: texture size, bytes per pixel,
+geometric placement) or *heavy* (the texture pixels plus optional
+geometry such as AMR grid lines and the quad-mesh offset map).
+
+- :mod:`~repro.protocol.framing` -- length-prefixed message framing
+  over byte streams;
+- :mod:`~repro.protocol.messages` -- typed payloads with binary
+  encode/decode.
+"""
+
+from repro.protocol.framing import (
+    FrameError,
+    MsgType,
+    read_message,
+    recv_exact,
+    write_message,
+)
+from repro.protocol.messages import (
+    AxisFeedback,
+    ConfigMessage,
+    HeavyPayload,
+    LightPayload,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "FrameError",
+    "MsgType",
+    "read_message",
+    "recv_exact",
+    "write_message",
+    "AxisFeedback",
+    "ConfigMessage",
+    "HeavyPayload",
+    "LightPayload",
+    "decode_message",
+    "encode_message",
+]

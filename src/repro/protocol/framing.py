@@ -1,0 +1,71 @@
+"""Length-prefixed framing for the Visapult wire protocol.
+
+Every frame is an 12-byte header (magic, message type, body length)
+followed by the body. Works over anything with ``sendall``/``recv``
+(sockets) via the module functions.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import Tuple
+
+MAGIC = 0x56504C54  # "VPLT"
+_HEADER = struct.Struct("!III")  # magic, type, body length
+
+#: refuse absurd frames rather than allocating gigabytes on a bad peer
+MAX_BODY = 256 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """Raised on malformed frames or truncated streams."""
+
+
+class MsgType(IntEnum):
+    """Wire message types."""
+
+    CONFIG = 1
+    LIGHT = 2
+    HEAVY = 3
+    AXIS_FEEDBACK = 4
+    BYE = 5
+
+
+def write_message(sock, msg_type: MsgType, body: bytes) -> None:
+    """Send one framed message."""
+    if len(body) > MAX_BODY:
+        raise FrameError(f"body of {len(body)} bytes exceeds {MAX_BODY}")
+    header = _HEADER.pack(MAGIC, int(msg_type), len(body))
+    sock.sendall(header + body)
+
+
+def recv_exact(sock, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`FrameError`."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FrameError(
+                f"connection closed with {remaining} of {n} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock) -> Tuple[MsgType, bytes]:
+    """Receive one framed message; returns (type, body)."""
+    header = recv_exact(sock, _HEADER.size)
+    magic, msg_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic:#x}")
+    if length > MAX_BODY:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_BODY}")
+    try:
+        msg_type = MsgType(msg_type)
+    except ValueError:
+        raise FrameError(f"unknown message type {msg_type}") from None
+    body = recv_exact(sock, length) if length else b""
+    return msg_type, body

@@ -1,0 +1,214 @@
+"""Typed wire payloads with binary encoding.
+
+The light payload carries "texture size, bytes per pixel, and
+geometric information used to place the texture in a 3D scene ... on
+the order of 256 bytes" (Table 1); the heavy payload carries "raw
+pixel data, as well as any geometric data" -- here the RGBA8 texture,
+an optional float32 offset map (the quad-mesh extension) and optional
+AMR grid line segments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.protocol.framing import MsgType
+
+_CONFIG = struct.Struct("!IIIIII")
+_LIGHT = struct.Struct("!IIIIB?6d")
+_HEAVY_HEAD = struct.Struct("!IIIIIII")
+_AXIS = struct.Struct("!IB?")
+
+
+@dataclass(frozen=True)
+class ConfigMessage:
+    """The initial config exchange (Figure 18: "Exchange Config Data")."""
+
+    n_pes: int
+    n_timesteps: int
+    shape: Tuple[int, int, int]
+
+    def encode(self) -> bytes:
+        return _CONFIG.pack(
+            self.n_pes, self.n_timesteps, *self.shape, 0
+        )
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ConfigMessage":
+        n_pes, n_steps, sx, sy, sz, _pad = _CONFIG.unpack(body)
+        return cls(n_pes=n_pes, n_timesteps=n_steps, shape=(sx, sy, sz))
+
+
+@dataclass(frozen=True)
+class LightPayload:
+    """Visualization metadata for one slab texture."""
+
+    rank: int
+    frame: int
+    tex_height: int
+    tex_width: int
+    axis: int
+    flip: bool
+    slab_lo: Tuple[float, float, float]
+    slab_hi: Tuple[float, float, float]
+
+    def encode(self) -> bytes:
+        return _LIGHT.pack(
+            self.rank,
+            self.frame,
+            self.tex_height,
+            self.tex_width,
+            self.axis,
+            self.flip,
+            *self.slab_lo,
+            *self.slab_hi,
+        )
+
+    @classmethod
+    def decode(cls, body: bytes) -> "LightPayload":
+        vals = _LIGHT.unpack(body)
+        return cls(
+            rank=vals[0],
+            frame=vals[1],
+            tex_height=vals[2],
+            tex_width=vals[3],
+            axis=vals[4],
+            flip=vals[5],
+            slab_lo=tuple(vals[6:9]),
+            slab_hi=tuple(vals[9:12]),
+        )
+
+
+@dataclass(frozen=True)
+class HeavyPayload:
+    """The texture itself, plus optional depth map and grid geometry."""
+
+    rank: int
+    frame: int
+    #: RGBA8 texture (H, W, 4) uint8
+    texture: np.ndarray
+    #: optional float32 (H, W) offset map for the quad-mesh extension
+    depth: Optional[np.ndarray] = None
+    #: optional float32 (N, 2, 3) AMR grid line segments
+    grid: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        tex = self.texture
+        if tex.dtype != np.uint8 or tex.ndim != 3 or tex.shape[2] != 4:
+            raise ValueError(
+                f"texture must be uint8 (H, W, 4), got {tex.dtype} "
+                f"{tex.shape}"
+            )
+        if self.depth is not None and self.depth.shape != tex.shape[:2]:
+            raise ValueError("depth map must match texture dimensions")
+        if self.grid is not None and (
+            self.grid.ndim != 3 or self.grid.shape[1:] != (2, 3)
+        ):
+            raise ValueError("grid must be (N, 2, 3)")
+
+    def encode(self) -> bytes:
+        h, w = self.texture.shape[:2]
+        depth = (
+            np.ascontiguousarray(self.depth, dtype=np.float32)
+            if self.depth is not None
+            else None
+        )
+        grid = (
+            np.ascontiguousarray(self.grid, dtype=np.float32)
+            if self.grid is not None
+            else None
+        )
+        head = _HEAVY_HEAD.pack(
+            self.rank,
+            self.frame,
+            h,
+            w,
+            1 if depth is not None else 0,
+            grid.shape[0] if grid is not None else 0,
+            0,
+        )
+        parts = [head, np.ascontiguousarray(self.texture).tobytes()]
+        # Floats cross the wire big-endian, like the struct fields.
+        if depth is not None:
+            parts.append(depth.astype(">f4").tobytes())
+        if grid is not None:
+            parts.append(grid.astype(">f4").tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "HeavyPayload":
+        head_size = _HEAVY_HEAD.size
+        rank, frame, h, w, has_depth, n_grid, _ = _HEAVY_HEAD.unpack(
+            body[:head_size]
+        )
+        offset = head_size
+        tex_bytes = h * w * 4
+        texture = np.frombuffer(
+            body, dtype=np.uint8, count=tex_bytes, offset=offset
+        ).reshape(h, w, 4).copy()
+        offset += tex_bytes
+        depth = None
+        if has_depth:
+            n = h * w
+            depth = np.frombuffer(
+                body, dtype=">f4", count=n, offset=offset
+            ).astype(np.float32).reshape(h, w)
+            offset += n * 4
+        grid = None
+        if n_grid:
+            n = n_grid * 6
+            grid = np.frombuffer(
+                body, dtype=">f4", count=n, offset=offset
+            ).astype(np.float32).reshape(n_grid, 2, 3)
+        return cls(rank=rank, frame=frame, texture=texture, depth=depth,
+                   grid=grid)
+
+
+@dataclass(frozen=True)
+class AxisFeedback:
+    """Viewer -> back end: the best view axis for upcoming frames."""
+
+    frame: int
+    axis: int
+    flip: bool
+
+    def encode(self) -> bytes:
+        return _AXIS.pack(self.frame, self.axis, self.flip)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "AxisFeedback":
+        frame, axis, flip = _AXIS.unpack(body)
+        return cls(frame=frame, axis=axis, flip=flip)
+
+
+Message = Union[ConfigMessage, LightPayload, HeavyPayload, AxisFeedback]
+
+_TYPE_OF = {
+    ConfigMessage: MsgType.CONFIG,
+    LightPayload: MsgType.LIGHT,
+    HeavyPayload: MsgType.HEAVY,
+    AxisFeedback: MsgType.AXIS_FEEDBACK,
+}
+_CLASS_OF = {v: k for k, v in _TYPE_OF.items()}
+
+
+def encode_message(msg: Message) -> Tuple[MsgType, bytes]:
+    """Serialize a typed message to (wire type, body)."""
+    try:
+        msg_type = _TYPE_OF[type(msg)]
+    except KeyError:
+        raise TypeError(f"unsupported message {type(msg).__name__}") from None
+    return msg_type, msg.encode()
+
+
+def decode_message(msg_type: MsgType, body: bytes) -> Message:
+    """Deserialize a wire frame into its typed message."""
+    try:
+        cls = _CLASS_OF[MsgType(msg_type)]
+    except (KeyError, ValueError):
+        raise ValueError(f"no decoder for message type {msg_type}") from None
+    return cls.decode(body)

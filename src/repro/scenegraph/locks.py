@@ -1,0 +1,57 @@
+"""Scene-graph access control for the multi-threaded live viewer.
+
+"Except for a small amount of scene graph access control with
+semaphores, I/O and rendering occur in an asynchronous fashion"
+(section 3.4). :class:`SceneLock` is that small amount: I/O service
+threads take the lock to swap a texture into the graph; the render
+thread takes it to snapshot the graph for a frame. An update counter
+lets the render thread skip redraws when nothing changed.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class SceneLock:
+    """A mutex plus a monotonically increasing update counter."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._version = 0
+        self._changed = threading.Condition(self._lock)
+
+    @property
+    def version(self) -> int:
+        """Number of updates committed so far."""
+        with self._lock:
+            return self._version
+
+    @contextmanager
+    def update(self):
+        """Context for mutating the scene; bumps the version on exit."""
+        with self._lock:
+            yield
+            self._version += 1
+            self._changed.notify_all()
+
+    @contextmanager
+    def read(self):
+        """Context for reading the scene consistently."""
+        with self._lock:
+            yield self._version
+
+    def wait_for_change(self, last_seen: int, timeout: float = None) -> int:
+        """Block until the version exceeds ``last_seen``; returns it.
+
+        The live render thread uses this to sleep between scene graph
+        updates instead of spinning.
+        """
+        with self._lock:
+            if self._version > last_seen:
+                return self._version
+            self._changed.wait_for(
+                lambda: self._version > last_seen, timeout=timeout
+            )
+            return self._version

@@ -1,0 +1,127 @@
+"""Scene graph nodes and hierarchical transforms."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+
+class Node:
+    """Base scene graph node: a name, children, and a local transform."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.children: List["Node"] = []
+        self.visible = True
+
+    def add(self, child: "Node") -> "Node":
+        """Append a child; returns the child for chaining."""
+        if child is self:
+            raise ValueError("a node cannot be its own child")
+        self.children.append(child)
+        return child
+
+    def remove(self, child: "Node") -> None:
+        """Remove a direct child."""
+        self.children.remove(child)
+
+    def local_matrix(self) -> np.ndarray:
+        """This node's local 4x4 transform (identity by default)."""
+        return np.eye(4)
+
+    def traverse(
+        self, parent_matrix: Optional[np.ndarray] = None
+    ) -> Iterator[tuple]:
+        """Depth-first traversal yielding (node, world_matrix) pairs.
+
+        Invisible subtrees are pruned, mirroring scene graph culling.
+        """
+        if not self.visible:
+            return
+        matrix = (
+            self.local_matrix()
+            if parent_matrix is None
+            else parent_matrix @ self.local_matrix()
+        )
+        yield self, matrix
+        for child in self.children:
+            yield from child.traverse(matrix)
+
+    def find(self, name: str) -> Optional["Node"]:
+        """First node with ``name`` in this subtree, or None."""
+        for node, _ in self.traverse():
+            if node.name == name:
+                return node
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, children={len(self.children)})"
+
+
+class Group(Node):
+    """A pure grouping node."""
+
+
+class Transform(Node):
+    """A node applying an explicit 4x4 matrix to its subtree."""
+
+    def __init__(self, name: str = "", matrix: Optional[np.ndarray] = None):
+        super().__init__(name)
+        self._matrix = np.eye(4) if matrix is None else np.asarray(matrix, float)
+        if self._matrix.shape != (4, 4):
+            raise ValueError(f"matrix must be 4x4, got {self._matrix.shape}")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The local matrix (assignable)."""
+        return self._matrix
+
+    @matrix.setter
+    def matrix(self, value: np.ndarray) -> None:
+        value = np.asarray(value, float)
+        if value.shape != (4, 4):
+            raise ValueError(f"matrix must be 4x4, got {value.shape}")
+        self._matrix = value
+
+    def local_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    # -- convenience constructors ------------------------------------
+    @staticmethod
+    def translation(tx: float, ty: float, tz: float) -> "Transform":
+        """Transform node translating by (tx, ty, tz)."""
+        m = np.eye(4)
+        m[:3, 3] = (tx, ty, tz)
+        return Transform(matrix=m)
+
+    @staticmethod
+    def rotation(axis: int, angle_rad: float) -> "Transform":
+        """Transform node rotating about a principal axis."""
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+        c, s = np.cos(angle_rad), np.sin(angle_rad)
+        m = np.eye(4)
+        i, j = [(1, 2), (0, 2), (0, 1)][axis]
+        m[i, i] = c
+        m[j, j] = c
+        m[i, j] = -s if axis != 1 else s
+        m[j, i] = s if axis != 1 else -s
+        return Transform(matrix=m)
+
+    @staticmethod
+    def scaling(sx: float, sy: float, sz: float) -> "Transform":
+        """Transform node scaling each axis."""
+        m = np.diag([sx, sy, sz, 1.0])
+        return Transform(matrix=m)
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 matrix to an (N, 3) array of points."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    homo = np.hstack([points, np.ones((len(points), 1))])
+    out = homo @ matrix.T
+    w = out[:, 3:4]
+    return out[:, :3] / np.where(np.abs(w) < 1e-15, 1.0, w)

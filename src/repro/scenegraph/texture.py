@@ -1,0 +1,61 @@
+"""2-D textures with bilinear sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Texture2D:
+    """A premultiplied RGBA float texture with bilinear sampling.
+
+    ``data`` is (H, W, 4) float32 in [0, 1]. Sampling coordinates are
+    (u, v) in [0, 1]^2 with u across columns, v across rows; values
+    clamp at the edges (GL_CLAMP_TO_EDGE semantics).
+    """
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 3 or data.shape[2] != 4:
+            raise ValueError(f"texture must be (H, W, 4), got {data.shape}")
+        if data.shape[0] < 1 or data.shape[1] < 1:
+            raise ValueError("texture must be at least 1x1")
+        self.data = data
+
+    @property
+    def shape(self):
+        """(H, W) pixel dimensions."""
+        return self.data.shape[:2]
+
+    @property
+    def nbytes_rgba8(self) -> int:
+        """Wire size when shipped as 8-bit RGBA."""
+        return self.data.shape[0] * self.data.shape[1] * 4
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Bilinear sample at arrays of (u, v); returns (..., 4)."""
+        h, w = self.data.shape[:2]
+        u = np.clip(np.asarray(u, dtype=np.float64), 0.0, 1.0)
+        v = np.clip(np.asarray(v, dtype=np.float64), 0.0, 1.0)
+        # Map to continuous pixel coordinates, texel centers at +0.5.
+        x = u * (w - 1)
+        y = v * (h - 1)
+        x0 = np.floor(x).astype(int)
+        y0 = np.floor(y).astype(int)
+        x1 = np.minimum(x0 + 1, w - 1)
+        y1 = np.minimum(y0 + 1, h - 1)
+        fx = (x - x0)[..., None]
+        fy = (y - y0)[..., None]
+        c00 = self.data[y0, x0]
+        c01 = self.data[y0, x1]
+        c10 = self.data[y1, x0]
+        c11 = self.data[y1, x1]
+        top = c00 * (1 - fx) + c01 * fx
+        bot = c10 * (1 - fx) + c11 * fx
+        return (top * (1 - fy) + bot * fy).astype(np.float32)
+
+    @classmethod
+    def solid(cls, rgba, shape=(2, 2)) -> "Texture2D":
+        """Uniform single-color texture."""
+        data = np.empty(shape + (4,), dtype=np.float32)
+        data[...] = np.asarray(rgba, dtype=np.float32)
+        return cls(data)

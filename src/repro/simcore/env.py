@@ -1,0 +1,151 @@
+"""The simulation environment: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.simcore.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Timeout,
+)
+from repro.simcore.process import Process
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue ran dry."""
+
+
+class Environment:
+    """Holds the simulated clock and drives event processing.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._counter = count()
+        self._active_process: Optional[Process] = None
+        self._unhandled: List[Tuple[Process, BaseException]] = []
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator)
+
+    def any_of(self, events: Sequence[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Sequence[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # -- scheduling (kernel API) -------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._counter), event),
+        )
+
+    def _crashed(self, process: Process, exc: BaseException) -> None:
+        self._unhandled.append((process, exc))
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _cnt, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        callbacks = event._mark_processed()
+        for cb in callbacks:
+            cb(event)
+        if self._unhandled:
+            process, exc = self._unhandled.pop(0)
+            self._unhandled.clear()
+            raise exc
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue is empty, a time, or an event fires.
+
+        ``until`` may be ``None`` (exhaust all events), a number
+        (simulated time to stop at), or an :class:`Event` (stop when it
+        fires; its value is returned).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event.value
+            if not self._queue:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "run(until=event): queue exhausted before event fired"
+                    )
+                if stop_time is not None:
+                    self._now = stop_time
+                return None
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            try:
+                self.step()
+            except EmptySchedule:  # pragma: no cover - guarded above
+                return None

@@ -1,0 +1,311 @@
+"""Fluid task scheduler: transfers and compute shares over time.
+
+A :class:`FluidTask` is a fixed amount of *work* (bytes, CPU-seconds)
+served at a rate decided by :func:`~repro.simcore.fairshare.max_min_allocation`
+over the :class:`FluidResource` objects the task touches. Whenever the
+active set changes (task added, finished, or a cap updated -- e.g. TCP
+slow-start opening a window), the scheduler advances all progress at
+the old rates, recomputes the allocation, and reschedules the next
+completion.
+
+The same scheduler serves network links, NICs, disk pools and CPU
+pools, so cross-domain contention (the paper's reader-thread vs render
+CPU fight on single-CPU cluster nodes) falls out of one allocator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from repro.simcore.events import Event, SimulationError
+from repro.simcore.fairshare import FlowSpec, ResourceSpec, max_min_allocation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.env import Environment
+
+#: Work below this is considered complete (dimension: task units).
+_WORK_EPS = 1e-9
+
+
+class FluidResource:
+    """A named capacity constraint registered with a scheduler."""
+
+    def __init__(self, name: str, capacity: float, *, monitor: bool = False):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        self.monitor = monitor
+        #: (time, aggregate consumption rate) samples, if monitored.
+        self.samples: List[tuple] = []
+
+    def record(self, time: float, load: float) -> None:
+        if self.monitor:
+            self.samples.append((time, load))
+
+    def utilization_timeseries(self) -> List[tuple]:
+        """Sampled (time, fraction-of-capacity) pairs."""
+        if self.capacity <= 0:
+            return [(t, 0.0) for t, _ in self.samples]
+        return [(t, load / self.capacity) for t, load in self.samples]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FluidResource({self.name!r}, capacity={self.capacity})"
+
+
+class FluidTask:
+    """A divisible unit of work progressing through shared resources."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        name: str,
+        work: float,
+        usage: Mapping[FluidResource, float],
+        cap: float = float("inf"),
+        floor: float = 0.0,
+    ):
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        FluidTask._ids += 1
+        self.name = f"{name}#{FluidTask._ids}"
+        self.work = float(work)
+        self.remaining = float(work)
+        self.usage = dict(usage)
+        self.cap = float(cap)
+        #: QoS reservation: guaranteed minimum rate (section 5's
+        #: bandwidth-reservation future work)
+        self.floor = float(floor)
+        self.rate = 0.0
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.done: Optional[Event] = None  # set by the scheduler
+
+    @property
+    def progressed(self) -> float:
+        """Work completed so far."""
+        return self.work - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FluidTask({self.name!r}, remaining={self.remaining:.3g}/"
+            f"{self.work:.3g}, rate={self.rate:.3g})"
+        )
+
+
+class FluidScheduler:
+    """Runs fluid tasks on an :class:`~repro.simcore.env.Environment`."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._resources: Dict[str, FluidResource] = {}
+        self._active: Dict[str, FluidTask] = {}
+        self._last_update = env.now
+        self._wake_token = 0
+
+    # -- registry ------------------------------------------------------------
+    def add_resource(self, resource: FluidResource) -> FluidResource:
+        """Register a resource; names must be unique."""
+        if resource.name in self._resources:
+            raise ValueError(f"duplicate resource name {resource.name!r}")
+        self._resources[resource.name] = resource
+        return resource
+
+    def resource(self, name: str) -> FluidResource:
+        """Look up a registered resource by name."""
+        return self._resources[name]
+
+    @property
+    def active_tasks(self) -> List[FluidTask]:
+        """Snapshot of currently running tasks."""
+        return list(self._active.values())
+
+    # -- task lifecycle -------------------------------------------------------
+    def submit(self, task: FluidTask) -> Event:
+        """Start ``task``; returns the event fired at completion.
+
+        The event's value is the completion time.
+        """
+        if task.done is not None:
+            raise SimulationError(f"task {task.name!r} already submitted")
+        for res in task.usage:
+            if res.name not in self._resources:
+                raise KeyError(
+                    f"task {task.name!r} uses unregistered resource {res.name!r}"
+                )
+        task.done = Event(self.env)
+        task.start_time = self.env.now
+        if task.work <= _WORK_EPS:
+            task.remaining = 0.0
+            task.finish_time = self.env.now
+            task.done.succeed(self.env.now)
+            return task.done
+        self._advance()
+        self._active[task.name] = task
+        self._reallocate()
+        return task.done
+
+    def set_cap(self, task: FluidTask, cap: float) -> None:
+        """Change a running task's rate cap (e.g. TCP window growth)."""
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        if task.name not in self._active:
+            return  # already finished; harmless
+        self._advance()
+        task.cap = float(cap)
+        self._reallocate()
+
+    def set_capacity(self, resource: FluidResource, capacity: float) -> None:
+        """Change a resource's capacity mid-simulation.
+
+        Used for host-side effects such as a NIC losing effective
+        bandwidth while its node's only CPU is busy rendering.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if resource.name not in self._resources:
+            raise KeyError(f"unknown resource {resource.name!r}")
+        self._advance()
+        resource.capacity = float(capacity)
+        self._reallocate()
+
+    def add_work(self, task: FluidTask, extra: float) -> None:
+        """Extend a running task with additional work."""
+        if extra < 0:
+            raise ValueError(f"extra must be >= 0, got {extra}")
+        if task.name not in self._active:
+            raise SimulationError(f"task {task.name!r} is not active")
+        self._advance()
+        task.work += extra
+        task.remaining += extra
+        self._reallocate()
+
+    def cancel(self, task: FluidTask) -> None:
+        """Abort a running task; its done event fails with Interrupt."""
+        if task.name not in self._active:
+            return
+        self._advance()
+        del self._active[task.name]
+        from repro.simcore.events import Interrupt
+
+        task.done.fail(Interrupt("cancelled"))
+        task.done._defused = True
+        self._reallocate()
+
+    # -- engine ---------------------------------------------------------------
+    def _advance(self) -> None:
+        """Apply progress at current rates up to env.now."""
+        dt = self.env.now - self._last_update
+        if dt > 0:
+            for task in self._active.values():
+                task.remaining = max(task.remaining - task.rate * dt, 0.0)
+        self._last_update = self.env.now
+
+    @staticmethod
+    def _work_eps(task: FluidTask) -> float:
+        # Relative tolerance: float error on a 1e8-byte transfer leaves
+        # residues far above any absolute epsilon.
+        return _WORK_EPS * max(1.0, task.work)
+
+    def _reallocate(self) -> None:
+        """Recompute rates, complete finished tasks, schedule next wake."""
+        # Complete anything that has already drained.
+        finished = [
+            t
+            for t in self._active.values()
+            if t.remaining <= self._work_eps(t)
+        ]
+        for t in finished:
+            del self._active[t.name]
+            t.remaining = 0.0
+            t.rate = 0.0
+            t.finish_time = self.env.now
+            t.done.succeed(self.env.now)
+
+        if not self._active:
+            self._record_loads()
+            return
+
+        specs = [
+            FlowSpec(
+                name=t.name,
+                cap=(
+                    t.cap
+                    if t.cap != float("inf")
+                    else _finite_cap(t, self._resources)
+                ),
+                usage={r.name: c for r, c in t.usage.items() if c > 0},
+                floor=t.floor,
+            )
+            for t in self._active.values()
+        ]
+        res_specs = [
+            ResourceSpec(name=r.name, capacity=r.capacity)
+            for r in self._resources.values()
+        ]
+        rates = max_min_allocation(specs, res_specs)
+        for t in self._active.values():
+            t.rate = rates[t.name]
+        self._record_loads()
+
+        # Schedule a wake-up at the earliest completion.
+        horizon = float("inf")
+        nearest: Optional[FluidTask] = None
+        for t in self._active.values():
+            if t.rate > 0:
+                eta = t.remaining / t.rate
+                if eta < horizon:
+                    horizon = eta
+                    nearest = t
+        self._wake_token += 1
+        if horizon == float("inf"):
+            return  # all rates zero; an external cap change must wake us
+        if nearest is not None and (
+            self.env.now + horizon == self.env.now
+        ):
+            # The horizon underflows float time resolution: the task is
+            # done for all purposes. Drain it now instead of spinning
+            # on zero-length timeouts.
+            nearest.remaining = 0.0
+            self._reallocate()
+            return
+        token = self._wake_token
+        wake = self.env.timeout(max(horizon, 0.0))
+        wake.callbacks.append(lambda _ev, tok=token: self._on_wake(tok))
+
+    def _on_wake(self, token: int) -> None:
+        if token != self._wake_token:
+            return  # superseded by a more recent reallocation
+        self._advance()
+        self._reallocate()
+
+    def _record_loads(self) -> None:
+        monitored = [r for r in self._resources.values() if r.monitor]
+        if not monitored:
+            return
+        loads = {r.name: 0.0 for r in monitored}
+        for t in self._active.values():
+            for r, coeff in t.usage.items():
+                if r.name in loads:
+                    loads[r.name] += coeff * t.rate
+        for r in monitored:
+            r.record(self.env.now, loads[r.name])
+
+
+def _finite_cap(task: FluidTask, resources: Dict[str, FluidResource]) -> float:
+    """Finite stand-in cap for an uncapped task.
+
+    An uncapped task can never exceed the full capacity of its most
+    constraining resource; a task touching no resources is pinned to a
+    large sentinel so progressive filling terminates.
+    """
+    best = float("inf")
+    for res, coeff in task.usage.items():
+        if coeff > 0:
+            best = min(best, resources[res.name].capacity / coeff)
+    return best if best != float("inf") else 1e15

@@ -1,0 +1,183 @@
+"""Shared-resource primitives: Store, Resource, Container.
+
+These are the queueing building blocks used by higher layers (e.g.
+DPSS request queues, double buffers, CPU slot pools). All waiters are
+served FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque
+
+from repro.simcore.events import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.env import Environment
+
+
+class Store:
+    """An unordered buffer of items with blocking get/put.
+
+    ``capacity`` bounds the number of stored items; ``put`` blocks when
+    full, ``get`` blocks when empty.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` has been accepted."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next available item."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progress = True
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with FIFO requests.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the slot ...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that fires when a slot is granted."""
+        ev = Event(self.env)
+        if len(self._users) < self.capacity and not self._waiters:
+            self._users.add(ev)
+            ev.succeed(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, request: Event) -> None:
+        """Return the slot granted to ``request``."""
+        if request not in self._users:
+            if request in self._waiters:
+                self._waiters.remove(request)
+                return
+            raise SimulationError("release of a request that holds no slot")
+        self._users.remove(request)
+        while self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. buffer bytes)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple] = deque()  # (event, amount)
+        self._putters: Deque[tuple] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Event firing once ``amount`` fits into the container."""
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"amount {amount} exceeds capacity {self.capacity}")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Event firing once ``amount`` can be drawn from the container."""
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity + 1e-12:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level + 1e-12 >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed()
+                    progress = True

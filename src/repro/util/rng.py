@@ -1,0 +1,42 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the simulation draws from a generator
+created here, so that campaigns are reproducible run-to-run and the
+benchmark harness is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged) so components can uniformly accept a
+    ``seed`` argument.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used to give each simulated component (disk, NIC, PE) its own
+    stream, so adding a component does not perturb the draws seen by
+    the others.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    root = np.random.SeedSequence(
+        seed if isinstance(seed, (int, type(None))) else None
+    )
+    children = root.spawn(n)
+    return [np.random.default_rng(c) for c in children]

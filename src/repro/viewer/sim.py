@@ -1,0 +1,162 @@
+"""Simulated viewer: per-PE receivers, payload accounting, render loop.
+
+The simulated viewer tracks what crosses the wire and when (to
+reproduce the paper's traffic-asymmetry and interactivity claims); the
+pixel-level scene graph work lives in the live implementation and
+:mod:`repro.ibravr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.netlogger.events import Tags
+from repro.netlogger.logger import NetLogger
+from repro.netsim.tcp import TcpConnection, TcpParams
+from repro.simcore.events import Event
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netlogger.daemon import NetLogDaemon
+    from repro.netsim.topology import Network
+
+
+@dataclass(frozen=True)
+class RenderLoopModel:
+    """The decoupled render thread.
+
+    Scene-graph updates arrive at whatever rate the pipeline delivers;
+    the render thread redraws at ``fps`` regardless ("the graphics
+    interactivity is effectively decoupled from the latency inherent
+    in network applications"). ``frame_cost`` is the redraw time for
+    the O(n^2) texture set; interactivity holds as long as
+    ``frame_cost <= 1/fps``.
+    """
+
+    fps: float = 30.0
+    frame_cost: float = 0.005
+
+    def __post_init__(self):
+        check_positive("fps", self.fps)
+        check_positive("frame_cost", self.frame_cost)
+
+    @property
+    def interactive(self) -> bool:
+        """True when the redraw budget fits the target frame rate."""
+        return self.frame_cost <= 1.0 / self.fps
+
+    def frames_rendered(self, wall_seconds: float) -> int:
+        """Frames the render thread draws in a wall-clock span."""
+        if wall_seconds < 0:
+            raise ValueError("wall_seconds must be >= 0")
+        rate = min(self.fps, 1.0 / self.frame_cost)
+        return int(wall_seconds * rate)
+
+
+class SimViewer:
+    """Viewer-side endpoint: one receiver connection per back end PE.
+
+    The back end registers each PE with :meth:`register_pe`, then
+    calls :meth:`deliver_light` / :meth:`deliver_heavy`; both return
+    events that fire when the viewer holds the payload. The viewer
+    stamps its own V_* NetLogger events (Table 1) and counts
+    scene-graph updates.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        host_name: str,
+        *,
+        daemon: Optional["NetLogDaemon"] = None,
+        light_bytes: float = 256.0,
+        tcp_params: Optional[TcpParams] = None,
+        render_loop: Optional[RenderLoopModel] = None,
+    ):
+        check_positive("light_bytes", light_bytes)
+        self.network = network
+        self.host_name = host_name
+        self.light_bytes = float(light_bytes)
+        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
+        self.render_loop = (
+            render_loop if render_loop is not None else RenderLoopModel()
+        )
+        self.logger = NetLogger(
+            host_name,
+            "viewer",
+            clock=lambda: network.env.now,
+            daemon=daemon,
+        )
+        self._pe_hosts: Dict[int, str] = {}
+        self._conns: Dict[int, TcpConnection] = {}
+        self._started_frames: Set[Tuple[int, int]] = set()
+        self.scene_updates = 0
+        self.bytes_received = 0.0
+        self.frames_completed: Dict[int, Set[int]] = {}
+
+    # -- wiring -----------------------------------------------------------
+    def register_pe(self, rank: int, host_name: str) -> None:
+        """Create the receiver connection for one back end PE."""
+        if rank in self._conns:
+            raise ValueError(f"rank {rank} already registered")
+        self._pe_hosts[rank] = host_name
+        self._conns[rank] = TcpConnection(
+            self.network, host_name, self.host_name, self.tcp_params
+        )
+
+    @property
+    def n_connections(self) -> int:
+        """Receiver connections held (one per PE: the striped-socket,
+        one-I/O-thread-per-PE structure of section 3.4)."""
+        return len(self._conns)
+
+    # -- delivery API used by the back end ---------------------------------
+    def deliver_light(self, rank: int, frame: int) -> Event:
+        """Ship visualization metadata (~256 bytes) from PE ``rank``."""
+        return self.network.env.process(
+            self._deliver(rank, frame, self.light_bytes, light=True)
+        )
+
+    def deliver_heavy(self, rank: int, frame: int, nbytes: float) -> Event:
+        """Ship a slab texture (plus optional geometry) from PE ``rank``."""
+        check_positive("nbytes", nbytes)
+        return self.network.env.process(
+            self._deliver(rank, frame, float(nbytes), light=False)
+        )
+
+    def _deliver(self, rank: int, frame: int, nbytes: float, *, light: bool):
+        if rank not in self._conns:
+            raise KeyError(f"PE rank {rank} not registered with viewer")
+        conn = self._conns[rank]
+        key = (rank, frame)
+        if key not in self._started_frames:
+            self._started_frames.add(key)
+            self.logger.log(Tags.V_FRAME_START, frame=frame, rank=rank)
+        start_tag = (
+            Tags.V_LIGHTPAYLOAD_START if light else Tags.V_HEAVYPAYLOAD_START
+        )
+        end_tag = (
+            Tags.V_LIGHTPAYLOAD_END if light else Tags.V_HEAVYPAYLOAD_END
+        )
+        self.logger.log(start_tag, frame=frame, rank=rank)
+        stats = yield conn.send(
+            nbytes, label=f"{'light' if light else 'heavy'}[{rank}]"
+        )
+        self.logger.log(end_tag, frame=frame, rank=rank)
+        self.bytes_received += nbytes
+        if not light:
+            # The heavy payload completes this PE's contribution; the
+            # texture is swapped into the scene graph.
+            self.scene_updates += 1
+            self.frames_completed.setdefault(frame, set()).add(rank)
+            self.logger.log(Tags.V_FRAME_END, frame=frame, rank=rank)
+        return stats
+
+    # -- results ------------------------------------------------------------
+    def complete_frames(self, n_pes: int) -> int:
+        """Number of frames for which every PE's texture arrived."""
+        return sum(
+            1 for ranks in self.frames_completed.values()
+            if len(ranks) >= n_pes
+        )

@@ -1,0 +1,111 @@
+"""Per-PE renderer facade and the calibrated compute-cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.volren.decomposition import SubVolume
+from repro.volren.raycast import render_slab
+from repro.volren.transfer import TransferFunction
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RenderCostModel:
+    """Maps voxels rendered to reference-CPU seconds.
+
+    ``voxels_per_second`` is the software volume rendering throughput
+    of the *reference* CPU (cpu_speed=1.0 hosts); calibration targets
+    in :mod:`repro.core.platforms` pin it so that, e.g., a quarter of a
+    640x256x256 grid takes ~8.5 s on a CPlant node (Figure 10) and an
+    eighth takes ~12 s on a 336 MHz E4500 CPU (Figures 12-13).
+    """
+
+    voxels_per_second: float = 1.0e6
+    #: fixed per-frame overhead (setup, metadata, image pack), seconds
+    per_frame_overhead: float = 0.05
+
+    def __post_init__(self):
+        check_positive("voxels_per_second", self.voxels_per_second)
+        if self.per_frame_overhead < 0:
+            raise ValueError("per_frame_overhead must be >= 0")
+
+    def cpu_seconds(self, n_voxels: float) -> float:
+        """Reference-CPU seconds to render ``n_voxels``."""
+        if n_voxels < 0:
+            raise ValueError("n_voxels must be >= 0")
+        return n_voxels / self.voxels_per_second + self.per_frame_overhead
+
+
+@dataclass
+class SlabRendering:
+    """Output of rendering one PE's slab for one timestep."""
+
+    rank: int
+    image: np.ndarray  # premultiplied RGBA float32 (H, W, 4)
+    depth: Optional[np.ndarray]  # offset map for the quad-mesh extension
+    axis: int
+    flip: bool
+    #: slab center along the view axis in [0, 1] world coordinates
+    slab_center: Tuple[float, float, float]
+    #: slab extents in [0, 1] world coordinates
+    slab_lo: Tuple[float, float, float]
+    slab_hi: Tuple[float, float, float]
+
+    @property
+    def texture_bytes(self) -> int:
+        """Wire size of the texture as RGBA8 (what the protocol ships)."""
+        h, w = self.image.shape[:2]
+        return h * w * 4
+
+
+class VolumeRenderer:
+    """Renders subvolumes into IBRAVR source textures.
+
+    One instance per back end PE; stateless apart from its transfer
+    function, so the same object serves every timestep.
+    """
+
+    def __init__(
+        self,
+        tf: Optional[TransferFunction] = None,
+        *,
+        with_depth: bool = False,
+    ):
+        self.tf = tf if tf is not None else TransferFunction.grayscale()
+        self.with_depth = with_depth
+
+    def render(
+        self,
+        sub: SubVolume,
+        voxels: np.ndarray,
+        full_shape: Tuple[int, int, int],
+        *,
+        axis: int = 0,
+        flip: bool = False,
+    ) -> SlabRendering:
+        """Render a PE's voxels into its slab texture."""
+        if tuple(voxels.shape) != sub.shape:
+            raise ValueError(
+                f"voxels shape {voxels.shape} != subvolume shape {sub.shape}"
+            )
+        image, depth = render_slab(
+            voxels, self.tf, axis=axis, flip=flip,
+            return_depth=self.with_depth,
+        )
+        scale = np.asarray(full_shape, dtype=np.float64)
+        lo = tuple(np.asarray(sub.lo) / scale)
+        hi = tuple(np.asarray(sub.hi) / scale)
+        return SlabRendering(
+            rank=sub.rank,
+            image=image,
+            depth=depth,
+            axis=axis,
+            flip=flip,
+            slab_center=sub.center(full_shape),
+            slab_lo=lo,
+            slab_hi=hi,
+        )

@@ -1,0 +1,119 @@
+"""Tests for trackball, orbit paths and stereo rendering."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CombustionConfig, combustion_field
+from repro.ibravr import IbravrModel
+from repro.scenegraph import Camera
+from repro.viewer.interaction import (
+    StereoRig,
+    Trackball,
+    image_disparity,
+    motion_parallax,
+    orbit_path,
+)
+from repro.volren import TransferFunction, slab_decompose
+from repro.volren.renderer import VolumeRenderer
+
+
+@pytest.fixture(scope="module")
+def model():
+    vol = combustion_field(0.0, CombustionConfig(shape=(32, 32, 32)))
+    renderer = VolumeRenderer(TransferFunction.fire())
+    subs = slab_decompose(vol.shape, 4)
+    m = IbravrModel()
+    m.update([renderer.render(s, s.extract(vol), vol.shape) for s in subs])
+    return m
+
+
+class TestTrackball:
+    def test_rotation_accumulates_and_wraps(self):
+        tb = Trackball()
+        tb.rotate(350.0, 0.0)
+        tb.rotate(20.0, 0.0)
+        assert tb.azimuth_deg == pytest.approx(10.0)
+
+    def test_elevation_clamps(self):
+        tb = Trackball(max_elevation_deg=80.0)
+        tb.rotate(0.0, 200.0)
+        assert tb.elevation_deg == 80.0
+        tb.rotate(0.0, -500.0)
+        assert tb.elevation_deg == -80.0
+
+    def test_camera_follows_state(self):
+        tb = Trackball(azimuth_deg=90.0, elevation_deg=0.0)
+        cam = tb.camera()
+        # At azimuth 90 the camera sits on the +y side.
+        assert cam.position[1] > cam.target[1]
+
+    def test_view_direction_unit(self):
+        tb = Trackball(azimuth_deg=33.0, elevation_deg=12.0)
+        assert np.linalg.norm(tb.view_direction()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trackball(max_elevation_deg=95.0)
+
+
+class TestOrbitPath:
+    def test_path_length_and_sweep(self):
+        cams = list(orbit_path(5, sweep_deg=360.0))
+        assert len(cams) == 5
+        # First and last of a full sweep coincide.
+        np.testing.assert_allclose(
+            cams[0].position, cams[-1].position, atol=1e-9
+        )
+
+    def test_single_frame(self):
+        cams = list(orbit_path(1))
+        assert len(cams) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(orbit_path(0))
+
+
+class TestStereo:
+    def test_eye_cameras_are_offset(self):
+        rig = StereoRig(eye_separation=0.1)
+        mono = Camera.orbit(20.0, 10.0)
+        left, right = rig.cameras(mono)
+        assert np.linalg.norm(
+            right.position - left.position
+        ) == pytest.approx(0.1)
+        np.testing.assert_allclose(left.target, mono.target)
+
+    def test_stereo_pair_has_disparity(self, model):
+        """3-D content produces a nonzero depth signal."""
+        rig = StereoRig(eye_separation=0.4)
+        left, right = rig.render_pair(model, Camera.orbit(20, 10), 64, 64)
+        assert image_disparity(left, right) > 1e-4
+
+    def test_identical_images_zero_disparity(self):
+        img = np.random.default_rng(0).random((8, 8, 4))
+        assert image_disparity(img, img) == 0.0
+
+    def test_disparity_validation(self):
+        with pytest.raises(ValueError):
+            image_disparity(np.zeros((2, 2, 4)), np.zeros((3, 3, 4)))
+        with pytest.raises(ValueError):
+            StereoRig(eye_separation=0.0)
+
+
+class TestMotionParallax:
+    def test_rotation_produces_parallax(self, model):
+        frames = [
+            model.render_frame(cam, 48, 48)
+            for cam in orbit_path(4, sweep_deg=60.0)
+        ]
+        assert motion_parallax(frames) > 1e-4
+
+    def test_still_image_has_none(self, model):
+        cam = Camera.orbit(10, 10)
+        frames = [model.render_frame(cam, 48, 48) for _ in range(3)]
+        assert motion_parallax(frames) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            motion_parallax([np.zeros((2, 2, 4))])

@@ -1,0 +1,103 @@
+"""Tests for the section 4.3 analytic overlap model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    overlap_speedup,
+    overlapped_time,
+    serial_time,
+    theoretical_speedup_limit,
+    transfer_time,
+)
+from repro.util.units import GB, OC12, mbps
+
+
+class TestFormulas:
+    def test_serial(self):
+        assert serial_time(10, 15.0, 12.0) == pytest.approx(270.0)
+
+    def test_overlapped(self):
+        assert overlapped_time(10, 15.0, 12.0) == pytest.approx(162.0)
+
+    def test_paper_e4500_numbers(self):
+        """Section 4.3: serial ~265 s, overlapped ~169 s, L~15, R~12."""
+        assert serial_time(10, 15.0, 12.0) == pytest.approx(265.0, rel=0.05)
+        assert overlapped_time(10, 15.0, 12.0) == pytest.approx(
+            169.0, rel=0.05
+        )
+
+    def test_speedup_limit_formula(self):
+        """L == R gives the 2N/(N+1) limit."""
+        for n in (1, 2, 10, 100):
+            assert overlap_speedup(n, 5.0, 5.0) == pytest.approx(
+                theoretical_speedup_limit(n)
+            )
+
+    def test_limit_approaches_two(self):
+        assert theoretical_speedup_limit(1) == pytest.approx(1.0)
+        assert theoretical_speedup_limit(1000) == pytest.approx(2.0, abs=0.01)
+
+    def test_speedup_diminishes_with_imbalance(self):
+        """"As the difference between L and R increases, the effective
+        speedup ... will diminish."""
+        balanced = overlap_speedup(10, 10.0, 10.0)
+        skewed = overlap_speedup(10, 18.0, 2.0)
+        very_skewed = overlap_speedup(10, 19.9, 0.1)
+        assert balanced > skewed > very_skewed
+        assert very_skewed == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            serial_time(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            overlapped_time(1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            theoretical_speedup_limit(0)
+
+    def test_transfer_time_paper_arithmetic(self):
+        """Section 5: 41.4 GB over NTON-at-70% vs ESnet-at-~128Mbps."""
+        dataset = 41.4 * GB
+        nton = transfer_time(dataset, mbps(433.0))
+        esnet = transfer_time(dataset, mbps(128.0))
+        assert nton / 60 == pytest.approx(12.7, rel=0.05)  # minutes
+        assert esnet / 60 == pytest.approx(43.1, rel=0.05)  # ~44 min
+        # 5 timesteps/s over 265 steps needs ~OC-192.
+        rate_needed = dataset / (265 / 5.0)
+        assert rate_needed / OC12 > 10
+        from repro.util.units import OC192
+
+        assert rate_needed < OC192
+
+    def test_transfer_time_validation(self):
+        with pytest.raises(ValueError):
+            transfer_time(-1, 10)
+        with pytest.raises(ValueError):
+            transfer_time(10, 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=1000),
+    load=st.floats(min_value=0.0, max_value=1e4),
+    render=st.floats(min_value=0.0, max_value=1e4),
+)
+def test_overlap_never_slower_and_bounded(n, load, render):
+    """To <= Ts always, and Ts <= 2 To (speedup in [1, 2])."""
+    ts = serial_time(n, load, render)
+    to = overlapped_time(n, load, render)
+    assert to <= ts + 1e-9
+    assert ts <= 2.0 * to + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=1000),
+    load=st.floats(min_value=0.01, max_value=1e4),
+)
+def test_speedup_maximised_at_balance(n, load):
+    """For fixed L, speedup is maximal when R == L."""
+    best = overlap_speedup(n, load, load)
+    for factor in (0.1, 0.5, 2.0, 10.0):
+        assert overlap_speedup(n, load, load * factor) <= best + 1e-9

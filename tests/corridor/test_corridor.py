@@ -1,0 +1,144 @@
+"""Tests for the corridor registry and session planner."""
+
+import pytest
+
+from repro.core.platforms import Platforms, Wans
+from repro.corridor import (
+    ComputeResource,
+    CorridorMap,
+    DataCacheResource,
+    NetworkPath,
+    SessionRequest,
+    Site,
+    plan_session,
+    run_session,
+)
+from repro.datagen import TimeSeriesMeta
+
+PAPER_META = TimeSeriesMeta(
+    name="combustion-640", shape=(640, 256, 256), n_timesteps=265
+)
+
+SMALL_META = TimeSeriesMeta(
+    name="combustion-640", shape=(64, 32, 32), n_timesteps=8
+)
+
+
+def request(meta=PAPER_META, viewer="snl", **kw):
+    return SessionRequest(
+        dataset="combustion-640", meta=meta, viewer_site=viewer, **kw
+    )
+
+
+class TestRegistry:
+    def test_canned_testbed_contents(self):
+        cmap = CorridorMap.year_2000_testbed()
+        assert {s.name for s in cmap.sites} == {"lbl", "snl", "anl"}
+        assert len(cmap.compute_resources) == 3
+        assert cmap.caches_holding("combustion-640")[0].site == "lbl"
+
+    def test_path_lookup(self):
+        cmap = CorridorMap.year_2000_testbed()
+        assert cmap.path_between("lbl", "snl").wan is Wans.NTON_2000
+        assert cmap.path_between("snl", "lbl").wan is Wans.NTON_2000
+        assert cmap.path_between("lbl", "lbl") is None
+        with pytest.raises(KeyError):
+            cmap.path_between("snl", "anl")
+
+    def test_registration_validation(self):
+        cmap = CorridorMap()
+        cmap.add_site(Site("a"))
+        with pytest.raises(ValueError):
+            cmap.add_site(Site("a"))
+        with pytest.raises(KeyError):
+            cmap.add_compute(
+                ComputeResource("c", "ghost", Platforms.E4500, 8)
+            )
+        with pytest.raises(ValueError):
+            ComputeResource("c", "a", Platforms.E4500, 0)
+        cmap.add_site(Site("b"))
+        with pytest.raises(ValueError):
+            cmap.add_path(NetworkPath("a", "a", Wans.LAN_GIGE))
+
+    def test_cache_holdings(self):
+        cache = DataCacheResource("d", "lbl", datasets=("x", "y"))
+        assert cache.holds("x") and not cache.holds("z")
+
+
+class TestPlanner:
+    def test_picks_cplant_for_the_paper_dataset(self):
+        """For the 160 MB/step dataset, the planner lands on CPlant
+        over NTON -- the configuration the paper converged on."""
+        cmap = CorridorMap.year_2000_testbed()
+        plan = plan_session(cmap, request())
+        assert plan.choice.resource.name == "cplant"
+        assert plan.choice.wan is Wans.NTON_2000
+
+    def test_prediction_reasonable_for_known_campaign(self):
+        """The estimate for cplant x8 must land near the measured
+        Figure 14/15 numbers (L ~3 s, R ~4.3 s)."""
+        cmap = CorridorMap.year_2000_testbed()
+        plan = plan_session(cmap, request())
+        eight = [
+            c for c in plan.candidates
+            if c.resource.name == "cplant" and c.n_pes == 8
+        ][0]
+        assert eight.load_seconds == pytest.approx(3.0, rel=0.15)
+        assert eight.render_seconds == pytest.approx(4.3, rel=0.15)
+
+    def test_more_pes_never_hurt_prediction(self):
+        cmap = CorridorMap.year_2000_testbed()
+        plan = plan_session(cmap, request())
+        cplant = sorted(
+            (c for c in plan.candidates if c.resource.name == "cplant"),
+            key=lambda c: c.n_pes,
+        )
+        periods = [c.period for c in cplant]
+        assert all(b <= a + 1e-9 for a, b in zip(periods, periods[1:]))
+
+    def test_missing_dataset_raises(self):
+        cmap = CorridorMap.year_2000_testbed()
+        with pytest.raises(LookupError, match="no DPSS cache"):
+            plan_session(
+                cmap,
+                SessionRequest(
+                    dataset="ghost", meta=PAPER_META, viewer_site="lbl"
+                ),
+            )
+
+    def test_no_compute_raises(self):
+        cmap = CorridorMap()
+        cmap.add_site(Site("lbl"))
+        cmap.add_cache(
+            DataCacheResource("d", "lbl", datasets=("combustion-640",))
+        )
+        with pytest.raises(LookupError, match="no compute"):
+            plan_session(cmap, request())
+
+    def test_summary_mentions_choice(self):
+        cmap = CorridorMap.year_2000_testbed()
+        plan = plan_session(cmap, request())
+        text = plan.summary()
+        assert "cplant" in text
+        assert "->" in text
+
+
+class TestRunSession:
+    def test_end_to_end_plan_and_run(self):
+        cmap = CorridorMap.year_2000_testbed()
+        plan, result = run_session(
+            cmap, request(meta=SMALL_META, n_timesteps=3)
+        )
+        assert result.viewer_frames_complete == 3
+        assert plan.choice.resource.platform.name == (
+            result.config.platform.name
+        )
+
+    def test_campaign_reflects_viewer_placement(self):
+        cmap = CorridorMap.year_2000_testbed()
+        plan = plan_session(cmap, request(viewer="lbl"))
+        cfg = plan.to_campaign()
+        # Compute lands off-site from the viewer -> remote viewer.
+        assert cfg.viewer_remote == (
+            plan.choice.resource.site != "lbl"
+        )

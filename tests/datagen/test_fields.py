@@ -1,0 +1,100 @@
+"""Tests for the synthetic combustion and cosmology field generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CombustionConfig,
+    CosmologyConfig,
+    combustion_field,
+    cosmology_field,
+)
+
+
+class TestCombustion:
+    def test_shape_and_dtype(self):
+        cfg = CombustionConfig(shape=(16, 12, 10))
+        field = combustion_field(0.0, cfg)
+        assert field.shape == (16, 12, 10)
+        assert field.dtype == np.float32
+
+    def test_values_normalised(self):
+        field = combustion_field(0.0, CombustionConfig(shape=(16, 16, 16)))
+        assert field.min() >= 0.0
+        assert field.max() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        cfg = CombustionConfig(shape=(12, 12, 12), seed=7)
+        a = combustion_field(3.0, cfg)
+        b = combustion_field(3.0, cfg)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        base = CombustionConfig(shape=(12, 12, 12), seed=1)
+        other = CombustionConfig(shape=(12, 12, 12), seed=2)
+        a = combustion_field(0.0, base)
+        b = combustion_field(0.0, other)
+        assert not np.array_equal(a, b)
+
+    def test_time_evolves_field(self):
+        cfg = CombustionConfig(shape=(16, 16, 16))
+        a = combustion_field(0.0, cfg)
+        b = combustion_field(1.0, cfg)
+        assert not np.allclose(a, b)
+        # Evolution should be gradual, not a reshuffle.
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.3
+
+    def test_has_localized_structure(self):
+        """A flame kernel field is concentrated, not uniform noise."""
+        field = combustion_field(0.0, CombustionConfig(shape=(24, 24, 24)))
+        assert field.std() > 0.05
+        # A substantial fraction of the domain is near-empty.
+        assert (field < 0.1).mean() > 0.2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CombustionConfig(shape=(1, 4, 4))
+        with pytest.raises(ValueError):
+            CombustionConfig(shape=(4, 4))
+        with pytest.raises(ValueError):
+            CombustionConfig(n_kernels=0)
+        with pytest.raises(ValueError):
+            CombustionConfig(kernel_radius=0.0)
+
+
+class TestCosmology:
+    def test_shape_and_dtype(self):
+        cfg = CosmologyConfig(shape=(16, 16, 8))
+        field = cosmology_field(0.0, cfg)
+        assert field.shape == (16, 16, 8)
+        assert field.dtype == np.float32
+
+    def test_values_normalised(self):
+        field = cosmology_field(0.0, CosmologyConfig(shape=(16, 16, 16)))
+        assert field.min() >= 0.0
+        assert field.max() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        cfg = CosmologyConfig(shape=(16, 16, 16), seed=5)
+        np.testing.assert_array_equal(
+            cosmology_field(2.0, cfg), cosmology_field(2.0, cfg)
+        )
+
+    def test_lognormal_contrast(self):
+        """Density should be skewed: a few dense halos, large voids."""
+        field = cosmology_field(0.0, CosmologyConfig(shape=(32, 32, 32)))
+        assert np.median(field) < field.mean()
+
+    def test_growth_sharpens_contrast(self):
+        cfg = CosmologyConfig(shape=(24, 24, 24), growth_rate=0.5)
+        early = cosmology_field(0.0, cfg)
+        late = cosmology_field(4.0, cfg)
+        # More growth -> emptier voids relative to the peak.
+        assert np.median(late) < np.median(early)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CosmologyConfig(shape=(1, 2, 2))
+        with pytest.raises(ValueError):
+            CosmologyConfig(sigma=0.0)

@@ -1,0 +1,92 @@
+"""Tests for the dataset realism validators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CombustionConfig,
+    CosmologyConfig,
+    check_combustion_like,
+    check_cosmology_like,
+    combustion_field,
+    cosmology_field,
+    field_stats,
+    spectral_slope,
+)
+
+
+class TestFieldStats:
+    def test_stats_computed(self):
+        field = combustion_field(0.0, CombustionConfig(shape=(24, 24, 24)))
+        stats = field_stats(field)
+        assert 0.0 <= stats.occupancy <= 1.0
+        assert stats.front_sharpness >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            field_stats(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            field_stats(np.zeros((8, 8, 8)))
+        with pytest.raises(ValueError):
+            spectral_slope(np.zeros((2, 2)))
+
+
+class TestCombustionValidator:
+    def test_generated_fields_pass(self):
+        for seed in (1, 7, 42):
+            field = combustion_field(
+                0.5, CombustionConfig(shape=(32, 32, 32), seed=seed)
+            )
+            stats = check_combustion_like(field)
+            assert stats.skewness > 0.2
+
+    def test_all_timesteps_pass(self):
+        cfg = CombustionConfig(shape=(24, 24, 24))
+        for t in (0.0, 2.0, 5.0):
+            check_combustion_like(combustion_field(t, cfg))
+
+    def test_uniform_field_rejected(self):
+        field = np.full((16, 16, 16), 0.9, dtype=np.float32)
+        with pytest.raises(ValueError, match="not combustion-like"):
+            check_combustion_like(field)
+
+    def test_white_noise_rejected(self):
+        rng = np.random.default_rng(0)
+        noise = rng.random((24, 24, 24)).astype(np.float32)
+        with pytest.raises(ValueError, match="not combustion-like"):
+            check_combustion_like(noise)
+
+
+class TestCosmologyValidator:
+    def test_generated_fields_pass(self):
+        for seed in (1, 99):
+            field = cosmology_field(
+                0.0, CosmologyConfig(shape=(32, 32, 32), seed=seed)
+            )
+            stats = check_cosmology_like(field)
+            assert stats.spectral_slope < -1.0
+
+    def test_white_noise_rejected(self):
+        rng = np.random.default_rng(1)
+        noise = rng.random((32, 32, 32)).astype(np.float32)
+        with pytest.raises(ValueError, match="not cosmology-like"):
+            check_cosmology_like(noise)
+
+    def test_smooth_blob_rejected(self):
+        """A single smooth gaussian has no halo/void contrast."""
+        x = np.linspace(-1, 1, 32)
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        blob = np.exp(-(X**2 + Y**2 + Z**2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            check_cosmology_like(blob)
+
+
+class TestSpectralSlope:
+    def test_noise_is_flat(self):
+        rng = np.random.default_rng(3)
+        noise = rng.random((32, 32, 32))
+        assert abs(spectral_slope(noise)) < 0.7
+
+    def test_power_law_field_is_red(self):
+        field = cosmology_field(0.0, CosmologyConfig(shape=(32, 32, 32)))
+        assert spectral_slope(field) < -1.5

@@ -1,0 +1,102 @@
+"""Tests for dataset striping and block maps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpss import BlockMap, DpssDataset
+from repro.util.units import KIB, MB
+
+
+class TestDataset:
+    def test_block_count_rounds_up(self):
+        ds = DpssDataset("d", size=100 * KIB, block_size=64 * KIB)
+        assert ds.n_blocks == 2
+
+    def test_exact_multiple(self):
+        ds = DpssDataset("d", size=128 * KIB, block_size=64 * KIB)
+        assert ds.n_blocks == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DpssDataset("d", size=0)
+        with pytest.raises(ValueError):
+            DpssDataset("d", size=1, block_size=0)
+
+
+class TestBlockMap:
+    def test_round_robin_striping(self):
+        ds = DpssDataset("d", size=8 * 64 * KIB, block_size=64 * KIB)
+        bm = BlockMap(ds, ["s0", "s1", "s2"])
+        assert [bm.server_of_block(i) for i in range(6)] == [
+            "s0", "s1", "s2", "s0", "s1", "s2",
+        ]
+
+    def test_block_out_of_range(self):
+        ds = DpssDataset("d", size=64 * KIB)
+        bm = BlockMap(ds, ["s0"])
+        with pytest.raises(IndexError):
+            bm.server_of_block(1)
+
+    def test_blocks_for_range(self):
+        ds = DpssDataset("d", size=10 * 64 * KIB, block_size=64 * KIB)
+        bm = BlockMap(ds, ["s0", "s1"])
+        # Bytes [64K, 192K) span blocks 1 and 2.
+        assert list(bm.blocks_for_range(64 * KIB, 128 * KIB)) == [1, 2]
+        # A sub-block read touches one block.
+        assert list(bm.blocks_for_range(10.0, 100.0)) == [0]
+
+    def test_range_validation(self):
+        ds = DpssDataset("d", size=64 * KIB)
+        bm = BlockMap(ds, ["s0"])
+        with pytest.raises(ValueError):
+            bm.blocks_for_range(-1, 10)
+        with pytest.raises(ValueError):
+            bm.blocks_for_range(0, 0)
+        with pytest.raises(ValueError):
+            bm.blocks_for_range(0, 2 * 64 * KIB)
+
+    def test_plan_read_balances_bytes(self):
+        ds = DpssDataset("d", size=8 * MB, block_size=64 * KIB)
+        bm = BlockMap(ds, [f"s{i}" for i in range(4)])
+        plan = bm.plan_read(0, 8 * MB)
+        per_server = [b for _, b in plan.values()]
+        assert sum(per_server) == pytest.approx(8 * MB)
+        assert max(per_server) - min(per_server) <= 64 * KIB
+
+    def test_plan_read_partial_blocks(self):
+        ds = DpssDataset("d", size=4 * 64 * KIB, block_size=64 * KIB)
+        bm = BlockMap(ds, ["s0", "s1"])
+        plan = bm.plan_read(32 * KIB, 64 * KIB)
+        total = sum(b for _, b in plan.values())
+        assert total == pytest.approx(64 * KIB)
+
+    def test_stripe_validation(self):
+        ds = DpssDataset("d", size=64 * KIB)
+        with pytest.raises(ValueError):
+            BlockMap(ds, [])
+        with pytest.raises(ValueError):
+            BlockMap(ds, ["s0", "s0"])
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n_servers=st.integers(min_value=1, max_value=8),
+        n_blocks=st.integers(min_value=1, max_value=256),
+        frac_lo=st.floats(min_value=0.0, max_value=0.9),
+        frac_len=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_plan_conserves_bytes(self, n_servers, n_blocks, frac_lo, frac_len):
+        """Any read plan's per-server bytes sum to the request size."""
+        bs = 64 * KIB
+        ds = DpssDataset("d", size=n_blocks * bs, block_size=bs)
+        bm = BlockMap(ds, [f"s{i}" for i in range(n_servers)])
+        offset = frac_lo * ds.size
+        nbytes = min(frac_len * ds.size, ds.size - offset)
+        if nbytes <= 0:
+            return
+        plan = bm.plan_read(offset, nbytes)
+        assert sum(b for _, b in plan.values()) == pytest.approx(nbytes)
+        # Block counts are consistent with the range.
+        assert sum(n for n, _ in plan.values()) == len(
+            bm.blocks_for_range(offset, nbytes)
+        )

@@ -1,0 +1,104 @@
+"""Failure-injection tests: offline servers and dead viewer peers."""
+
+import pytest
+
+from repro.dpss import (
+    DpssClient,
+    DpssDataset,
+    DpssMaster,
+    DpssServer,
+    ServerUnavailable,
+)
+from repro.netsim import Host, Link, Network, TcpParams
+from repro.util.units import KIB, MB, mbps
+
+
+def build(n_servers=2):
+    net = Network()
+    net.add_host(Host("client", nic_rate=mbps(1000)))
+    net.add_host(Host("master", nic_rate=mbps(100)))
+    lan = net.add_link(Link("lan", rate=mbps(1000), latency=0.0002))
+    net.add_route("client", "master", [lan])
+    master = DpssMaster(net.host("master"))
+    servers = []
+    for i in range(n_servers):
+        net.add_host(Host(f"s{i}", nic_rate=mbps(1000)))
+        srv = DpssServer(net.host(f"s{i}"), n_disks=4, disk_rate=10 * MB)
+        srv.attach(net)
+        master.add_server(srv)
+        net.add_route(f"s{i}", "client", [lan])
+        servers.append(srv)
+    master.register_dataset(DpssDataset("ds", size=16 * MB))
+    client = DpssClient(net, "client", master,
+                        tcp_params=TcpParams(slow_start=False))
+    ev = client.open("ds")
+    net.run(until=ev)
+    return net, master, servers, client, ev.value
+
+
+class TestServerFailure:
+    def test_offline_server_fails_reads_loudly(self):
+        net, master, servers, client, handle = build()
+        servers[1].online = False
+        ev = client.read(handle, 8 * MB)
+        with pytest.raises(ServerUnavailable, match="offline"):
+            net.run(until=ev)
+
+    def test_read_avoiding_offline_stripe_succeeds(self):
+        """A sub-block read that only touches online servers works."""
+        net, master, servers, client, handle = build()
+        servers[1].online = False
+        # Block 0 lives on server 0 (round-robin striping).
+        ev = client.read(handle, 32 * KIB, offset=0)
+        net.run(until=ev)
+        assert ev.value.nbytes == 32 * KIB
+
+    def test_recovered_server_serves_again(self):
+        net, master, servers, client, handle = build()
+        servers[1].online = False
+        ev = client.read(handle, 8 * MB, offset=0)
+        with pytest.raises(ServerUnavailable):
+            net.run(until=ev)
+        servers[1].online = True
+        ev2 = client.read(handle, 8 * MB, offset=0)
+        net.run(until=ev2)
+        assert ev2.value.nbytes == 8 * MB
+
+
+class TestLivePeerFailure:
+    def test_backend_surfaces_dead_viewer(self):
+        """PEs connecting to a closed port must error, not hang."""
+        import socket
+
+        from repro.datagen import (
+            CombustionConfig,
+            SyntheticTimeSeries,
+            TimeSeriesMeta,
+            combustion_field,
+        )
+        from repro.live import LiveBackEnd
+
+        # Grab a port and close it so nothing listens there.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        shape = (16, 16, 16)
+        meta = TimeSeriesMeta(name="x", shape=shape, n_timesteps=2)
+        source = SyntheticTimeSeries(
+            meta,
+            lambda t: combustion_field(t, CombustionConfig(shape=shape)),
+        )
+        backend = LiveBackEnd(source, 2, port)
+        with pytest.raises(OSError):
+            backend.run(timeout=30.0)
+
+    def test_viewer_stop_is_idempotent_and_clean(self):
+        from repro.live import LiveViewer
+
+        viewer = LiveViewer()
+        viewer.start()
+        viewer.stop()
+        viewer.stop()  # second stop must not raise
+        assert viewer.errors == []

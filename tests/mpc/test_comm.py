@@ -1,0 +1,166 @@
+"""Tests for the thread communicator and Appendix B primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mpc import Communicator, DoubleBuffer, SemaphorePair, run_spmd
+
+
+class TestCommunicator:
+    def test_send_recv(self):
+        def body(comm, rank):
+            if rank == 0:
+                comm.send(1, "hello", source=0)
+                return None
+            src, tag, payload = comm.recv(rank=1, source=0)
+            return payload
+
+        results = run_spmd(2, body)
+        assert results[1] == "hello"
+
+    def test_recv_matches_tag(self):
+        def body(comm, rank):
+            if rank == 0:
+                comm.send(1, "a", source=0, tag=1)
+                comm.send(1, "b", source=0, tag=2)
+                return None
+            # Ask for tag 2 first; tag-1 message is stashed.
+            _, _, b = comm.recv(rank=1, tag=2)
+            _, _, a = comm.recv(rank=1, tag=1)
+            return (a, b)
+
+        results = run_spmd(2, body)
+        assert results[1] == ("a", "b")
+
+    def test_barrier_synchronises(self):
+        arrivals = []
+        lock = threading.Lock()
+
+        def body(comm, rank):
+            time.sleep(0.01 * rank)
+            with lock:
+                arrivals.append(("before", rank))
+            comm.barrier()
+            with lock:
+                arrivals.append(("after", rank))
+
+        run_spmd(3, body)
+        befores = [i for i, (k, _) in enumerate(arrivals) if k == "before"]
+        afters = [i for i, (k, _) in enumerate(arrivals) if k == "after"]
+        assert max(befores) < min(afters)
+
+    def test_bcast(self):
+        def body(comm, rank):
+            value = "root-data" if rank == 1 else None
+            return comm.bcast(value, root=1, rank=rank)
+
+        assert run_spmd(3, body) == ["root-data"] * 3
+
+    def test_gather(self):
+        def body(comm, rank):
+            return comm.gather(rank * 10, root=0, rank=rank)
+
+        results = run_spmd(3, body)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    def test_rank_validation(self):
+        comm = Communicator(2)
+        with pytest.raises(ValueError):
+            comm.send(5, "x", source=0)
+        with pytest.raises(ValueError):
+            comm.recv(rank=9, timeout=0.01)
+        with pytest.raises(ValueError):
+            Communicator(0)
+
+    def test_exception_propagates(self):
+        def body(comm, rank):
+            if rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            run_spmd(2, body)
+
+
+class TestSemaphorePair:
+    def test_handshake_round(self):
+        pair = SemaphorePair()
+        loads = []
+
+        def reader():
+            while True:
+                cmd = pair.wait_command(timeout=5.0)
+                if cmd is None or cmd == SemaphorePair.EXIT:
+                    return
+                loads.append(cmd)
+                pair.post_data()
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for step in range(3):
+            pair.request(step)
+            assert pair.wait_data(timeout=5.0)
+        pair.request_exit()
+        t.join(timeout=5.0)
+        assert loads == [0, 1, 2]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            SemaphorePair().request(-2)
+
+
+class TestDoubleBuffer:
+    def test_even_odd_slots(self):
+        buf = DoubleBuffer()
+        buf.write(0, "frame0")
+        buf.write(1, "frame1")
+        assert buf.read(0) == "frame0"
+        assert buf.read(1) == "frame1"
+        buf.write(2, "frame2")  # replaces slot 0
+        assert buf.read(2) == "frame2"
+
+    def test_violation_detected(self):
+        buf = DoubleBuffer()
+        buf.write(0, "frame0")
+        buf.write(2, "frame2")
+        with pytest.raises(RuntimeError, match="double-buffer violation"):
+            buf.read(0)
+
+    def test_validation(self):
+        buf = DoubleBuffer()
+        with pytest.raises(ValueError):
+            buf.write(-1, "x")
+        with pytest.raises(ValueError):
+            buf.read(-1)
+
+    def test_pipeline_never_corrupts(self):
+        """Stress the appendix-B protocol: reader always one ahead."""
+        pair = SemaphorePair()
+        buf = DoubleBuffer()
+        n = 20
+
+        def reader():
+            while True:
+                cmd = pair.wait_command(timeout=5.0)
+                if cmd is None or cmd == SemaphorePair.EXIT:
+                    return
+                buf.write(cmd, f"data-{cmd}")
+                pair.post_data()
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        pair.request(0)
+        assert pair.wait_data(timeout=5.0)
+        seen = []
+        for frame in range(n):
+            if frame + 1 < n:
+                pair.request(frame + 1)
+            seen.append(buf.read(frame))
+            if frame + 1 < n:
+                assert pair.wait_data(timeout=5.0)
+        pair.request_exit()
+        t.join(timeout=5.0)
+        assert seen == [f"data-{i}" for i in range(n)]

@@ -1,0 +1,198 @@
+"""Tests for wire framing and message encoding."""
+
+import io
+import socket
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import (
+    AxisFeedback,
+    ConfigMessage,
+    FrameError,
+    HeavyPayload,
+    LightPayload,
+    MsgType,
+    decode_message,
+    encode_message,
+    read_message,
+    write_message,
+)
+
+
+class FakeSock:
+    """In-memory bidirectional byte stream for framing tests."""
+
+    def __init__(self):
+        self.buffer = io.BytesIO()
+
+    def sendall(self, data):
+        pos = self.buffer.tell()
+        self.buffer.seek(0, io.SEEK_END)
+        self.buffer.write(data)
+        self.buffer.seek(pos)
+
+    def recv(self, n):
+        return self.buffer.read(n)
+
+
+def roundtrip(msg):
+    sock = FakeSock()
+    msg_type, body = encode_message(msg)
+    write_message(sock, msg_type, body)
+    got_type, got_body = read_message(sock)
+    assert got_type == msg_type
+    return decode_message(got_type, got_body)
+
+
+class TestFraming:
+    def test_empty_body(self):
+        sock = FakeSock()
+        write_message(sock, MsgType.BYE, b"")
+        msg_type, body = read_message(sock)
+        assert msg_type == MsgType.BYE
+        assert body == b""
+
+    def test_bad_magic_rejected(self):
+        sock = FakeSock()
+        sock.sendall(b"\x00" * 12)
+        with pytest.raises(FrameError, match="magic"):
+            read_message(sock)
+
+    def test_truncated_stream_rejected(self):
+        sock = FakeSock()
+        write_message(sock, MsgType.LIGHT, b"abcdef")
+        # Chop off the last bytes.
+        data = sock.buffer.getvalue()[:-3]
+        short = FakeSock()
+        short.sendall(data)
+        with pytest.raises(FrameError, match="closed"):
+            read_message(short)
+
+    def test_unknown_type_rejected(self):
+        import struct
+
+        from repro.protocol.framing import MAGIC
+
+        sock = FakeSock()
+        sock.sendall(struct.pack("!III", MAGIC, 99, 0))
+        with pytest.raises(FrameError, match="unknown message type"):
+            read_message(sock)
+
+    def test_oversize_body_rejected(self):
+        sock = FakeSock()
+        with pytest.raises(FrameError):
+            write_message(sock, MsgType.HEAVY, b"x" * (300 * 1024 * 1024))
+
+
+class TestMessages:
+    def test_config_roundtrip(self):
+        msg = ConfigMessage(n_pes=8, n_timesteps=265, shape=(640, 256, 256))
+        assert roundtrip(msg) == msg
+
+    def test_light_roundtrip(self):
+        msg = LightPayload(
+            rank=3, frame=41, tex_height=256, tex_width=256, axis=1,
+            flip=True, slab_lo=(0.25, 0.0, 0.0), slab_hi=(0.5, 1.0, 1.0),
+        )
+        got = roundtrip(msg)
+        assert got.rank == 3 and got.frame == 41
+        assert got.axis == 1 and got.flip is True
+        np.testing.assert_allclose(got.slab_lo, msg.slab_lo)
+        np.testing.assert_allclose(got.slab_hi, msg.slab_hi)
+
+    def test_light_payload_is_small(self):
+        """The paper: metadata "on the order of 256 bytes"."""
+        msg = LightPayload(
+            rank=0, frame=0, tex_height=256, tex_width=256, axis=0,
+            flip=False, slab_lo=(0, 0, 0), slab_hi=(1, 1, 1),
+        )
+        _, body = encode_message(msg)
+        assert len(body) <= 256
+
+    def test_heavy_roundtrip_texture_only(self):
+        rng = np.random.default_rng(0)
+        tex = rng.integers(0, 255, size=(16, 24, 4), dtype=np.uint8)
+        msg = HeavyPayload(rank=1, frame=2, texture=tex)
+        got = roundtrip(msg)
+        np.testing.assert_array_equal(got.texture, tex)
+        assert got.depth is None and got.grid is None
+
+    def test_heavy_roundtrip_with_depth_and_grid(self):
+        rng = np.random.default_rng(1)
+        tex = rng.integers(0, 255, size=(8, 8, 4), dtype=np.uint8)
+        depth = rng.random((8, 8)).astype(np.float32)
+        grid = rng.random((5, 2, 3)).astype(np.float32)
+        msg = HeavyPayload(rank=0, frame=0, texture=tex, depth=depth,
+                           grid=grid)
+        got = roundtrip(msg)
+        np.testing.assert_allclose(got.depth, depth, atol=1e-6)
+        np.testing.assert_allclose(got.grid, grid, atol=1e-6)
+
+    def test_heavy_validation(self):
+        with pytest.raises(ValueError):
+            HeavyPayload(rank=0, frame=0,
+                         texture=np.zeros((4, 4, 3), np.uint8))
+        with pytest.raises(ValueError):
+            HeavyPayload(
+                rank=0, frame=0, texture=np.zeros((4, 4, 4), np.uint8),
+                depth=np.zeros((2, 2), np.float32),
+            )
+
+    def test_axis_feedback_roundtrip(self):
+        msg = AxisFeedback(frame=7, axis=2, flip=True)
+        assert roundtrip(msg) == msg
+
+    def test_encode_unknown_type(self):
+        with pytest.raises(TypeError):
+            encode_message("not a message")
+
+    def test_decode_unknown_type(self):
+        with pytest.raises(ValueError):
+            decode_message(MsgType.BYE, b"")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rank=st.integers(min_value=0, max_value=63),
+        frame=st.integers(min_value=0, max_value=10000),
+        h=st.integers(min_value=1, max_value=32),
+        w=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_heavy_roundtrip_property(self, rank, frame, h, w, seed):
+        rng = np.random.default_rng(seed)
+        tex = rng.integers(0, 255, size=(h, w, 4), dtype=np.uint8)
+        got = roundtrip(HeavyPayload(rank=rank, frame=frame, texture=tex))
+        assert got.rank == rank and got.frame == frame
+        np.testing.assert_array_equal(got.texture, tex)
+
+
+class TestOverRealSockets:
+    def test_roundtrip_over_localhost(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+        received = []
+
+        def serve():
+            conn, _ = server.accept()
+            msg_type, body = read_message(conn)
+            received.append(decode_message(msg_type, body))
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        client = socket.create_connection(("127.0.0.1", port), timeout=5)
+        tex = np.arange(4 * 4 * 4, dtype=np.uint8).reshape(4, 4, 4)
+        msg = HeavyPayload(rank=0, frame=9, texture=tex)
+        msg_type, body = encode_message(msg)
+        write_message(client, msg_type, body)
+        client.close()
+        t.join(timeout=5)
+        server.close()
+        assert received and received[0].frame == 9
+        np.testing.assert_array_equal(received[0].texture, tex)

@@ -1,0 +1,218 @@
+"""Tests for the max-min fair allocator, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import FlowSpec, ResourceSpec, max_min_allocation
+
+
+def alloc(flows, resources):
+    return max_min_allocation(flows, resources)
+
+
+def test_single_flow_gets_bottleneck():
+    flows = [FlowSpec("f", cap=1e9, usage={"link": 1.0})]
+    res = [ResourceSpec("link", 100.0)]
+    assert alloc(flows, res)["f"] == pytest.approx(100.0)
+
+
+def test_single_flow_cap_limited():
+    flows = [FlowSpec("f", cap=40.0, usage={"link": 1.0})]
+    res = [ResourceSpec("link", 100.0)]
+    assert alloc(flows, res)["f"] == pytest.approx(40.0)
+
+
+def test_equal_flows_split_equally():
+    flows = [FlowSpec(f"f{i}", cap=1e9, usage={"link": 1.0}) for i in range(4)]
+    res = [ResourceSpec("link", 100.0)]
+    rates = alloc(flows, res)
+    for i in range(4):
+        assert rates[f"f{i}"] == pytest.approx(25.0)
+
+
+def test_capped_flow_releases_share_to_others():
+    flows = [
+        FlowSpec("small", cap=10.0, usage={"link": 1.0}),
+        FlowSpec("big", cap=1e9, usage={"link": 1.0}),
+    ]
+    res = [ResourceSpec("link", 100.0)]
+    rates = alloc(flows, res)
+    assert rates["small"] == pytest.approx(10.0)
+    assert rates["big"] == pytest.approx(90.0)
+
+
+def test_multi_resource_bottleneck_is_minimum():
+    flows = [FlowSpec("f", cap=1e9, usage={"nic": 1.0, "wan": 1.0})]
+    res = [ResourceSpec("nic", 125.0), ResourceSpec("wan", 75.0)]
+    assert alloc(flows, res)["f"] == pytest.approx(75.0)
+
+
+def test_classic_max_min_three_flows_two_links():
+    # f1 uses linkA only; f2 and f3 use both. linkA=10, linkB=4.
+    flows = [
+        FlowSpec("f1", cap=1e9, usage={"A": 1.0}),
+        FlowSpec("f2", cap=1e9, usage={"A": 1.0, "B": 1.0}),
+        FlowSpec("f3", cap=1e9, usage={"A": 1.0, "B": 1.0}),
+    ]
+    res = [ResourceSpec("A", 10.0), ResourceSpec("B", 4.0)]
+    rates = alloc(flows, res)
+    assert rates["f2"] == pytest.approx(2.0)
+    assert rates["f3"] == pytest.approx(2.0)
+    assert rates["f1"] == pytest.approx(6.0)
+
+
+def test_usage_coefficients_scale_consumption():
+    # Two tasks on one CPU; the "heavy" one eats 2x CPU per unit rate.
+    flows = [
+        FlowSpec("heavy", cap=10.0, usage={"cpu": 2.0}),
+        FlowSpec("light", cap=10.0, usage={"cpu": 1.0}),
+    ]
+    res = [ResourceSpec("cpu", 1.0)]
+    rates = alloc(flows, res)
+    # Equal-rate filling: both freeze when 2r + r = 1 => r = 1/3.
+    assert rates["heavy"] == pytest.approx(1.0 / 3.0)
+    assert rates["light"] == pytest.approx(1.0 / 3.0)
+    assert 2 * rates["heavy"] + rates["light"] == pytest.approx(1.0)
+
+
+def test_zero_cap_flow_gets_zero():
+    flows = [
+        FlowSpec("parked", cap=0.0, usage={"link": 1.0}),
+        FlowSpec("live", cap=1e9, usage={"link": 1.0}),
+    ]
+    res = [ResourceSpec("link", 100.0)]
+    rates = alloc(flows, res)
+    assert rates["parked"] == 0.0
+    assert rates["live"] == pytest.approx(100.0)
+
+
+def test_zero_capacity_resource_blocks_flows():
+    flows = [FlowSpec("f", cap=10.0, usage={"dead": 1.0})]
+    res = [ResourceSpec("dead", 0.0)]
+    assert alloc(flows, res)["f"] == pytest.approx(0.0)
+
+
+def test_flow_without_resources_gets_cap():
+    flows = [FlowSpec("free", cap=42.0, usage={})]
+    assert alloc(flows, [])["free"] == pytest.approx(42.0)
+
+
+def test_unknown_resource_rejected():
+    flows = [FlowSpec("f", cap=1.0, usage={"ghost": 1.0})]
+    with pytest.raises(KeyError):
+        alloc(flows, [ResourceSpec("link", 1.0)])
+
+
+def test_duplicate_flow_names_rejected():
+    flows = [
+        FlowSpec("f", cap=1.0, usage={"link": 1.0}),
+        FlowSpec("f", cap=2.0, usage={"link": 1.0}),
+    ]
+    with pytest.raises(ValueError):
+        alloc(flows, [ResourceSpec("link", 1.0)])
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        FlowSpec("f", cap=-1.0)
+    with pytest.raises(ValueError):
+        FlowSpec("f", cap=1.0, usage={"r": -0.1})
+    with pytest.raises(ValueError):
+        ResourceSpec("r", capacity=-5.0)
+
+
+def test_empty_inputs():
+    assert alloc([], []) == {}
+    assert alloc([], [ResourceSpec("r", 1.0)]) == {}
+
+
+# ------------------------------------------------------ property-based
+@st.composite
+def allocation_problem(draw):
+    n_res = draw(st.integers(min_value=1, max_value=4))
+    resources = [
+        ResourceSpec(f"r{i}", draw(st.floats(min_value=0.1, max_value=1000.0)))
+        for i in range(n_res)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    flows = []
+    for i in range(n_flows):
+        touched = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_res - 1),
+                min_size=1,
+                max_size=n_res,
+                unique=True,
+            )
+        )
+        usage = {
+            f"r{j}": draw(st.floats(min_value=0.01, max_value=10.0))
+            for j in touched
+        }
+        cap = draw(st.floats(min_value=0.01, max_value=10000.0))
+        flows.append(FlowSpec(f"f{i}", cap=cap, usage=usage))
+    return flows, resources
+
+
+@settings(max_examples=150, deadline=None)
+@given(allocation_problem())
+def test_allocation_is_feasible(problem):
+    """No resource is over-committed and no cap exceeded."""
+    flows, resources = problem
+    rates = max_min_allocation(flows, resources)
+    for f in flows:
+        assert rates[f.name] <= f.cap * (1 + 1e-9) + 1e-9
+        assert rates[f.name] >= 0.0
+    for r in resources:
+        load = sum(
+            f.usage.get(r.name, 0.0) * rates[f.name] for f in flows
+        )
+        assert load <= r.capacity * (1 + 1e-6) + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(allocation_problem())
+def test_allocation_is_non_wasteful(problem):
+    """Every flow is limited by its cap or by a saturated resource."""
+    flows, resources = problem
+    rates = max_min_allocation(flows, resources)
+    caps = {r.name: r.capacity for r in resources}
+    loads = {r.name: 0.0 for r in resources}
+    for f in flows:
+        for rname, coeff in f.usage.items():
+            loads[rname] += coeff * rates[f.name]
+    for f in flows:
+        at_cap = rates[f.name] >= f.cap * (1 - 1e-6) - 1e-9
+        on_saturated = any(
+            coeff > 1e-9
+            and loads[rname] >= caps[rname] * (1 - 1e-6) - 1e-9
+            for rname, coeff in f.usage.items()
+        )
+        assert at_cap or on_saturated, (
+            f"flow {f.name} rate {rates[f.name]} not limited by anything"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_symmetric_flows_get_equal_share(n, capacity):
+    flows = [
+        FlowSpec(f"f{i}", cap=1e12, usage={"link": 1.0}) for i in range(n)
+    ]
+    rates = max_min_allocation(flows, [ResourceSpec("link", capacity)])
+    expected = capacity / n
+    for i in range(n):
+        assert rates[f"f{i}"] == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(allocation_problem())
+def test_allocation_deterministic(problem):
+    flows, resources = problem
+    r1 = max_min_allocation(flows, resources)
+    r2 = max_min_allocation(list(flows), list(resources))
+    assert r1 == r2

@@ -1,0 +1,100 @@
+"""Tests for QoS bandwidth reservations (floors) in the fluid model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import (
+    Environment,
+    FlowSpec,
+    FluidResource,
+    FluidScheduler,
+    FluidTask,
+    ResourceSpec,
+    max_min_allocation,
+)
+
+
+class TestFloorAllocation:
+    def test_floor_grants_minimum_under_contention(self):
+        flows = [
+            FlowSpec("vip", cap=1e9, usage={"link": 1.0}, floor=60.0),
+            FlowSpec("bulk1", cap=1e9, usage={"link": 1.0}),
+            FlowSpec("bulk2", cap=1e9, usage={"link": 1.0}),
+        ]
+        rates = max_min_allocation(flows, [ResourceSpec("link", 90.0)])
+        assert rates["vip"] >= 60.0
+        # Remainder splits among everyone (vip already has its grant).
+        assert rates["bulk1"] == pytest.approx(rates["bulk2"])
+        total = sum(rates.values())
+        assert total == pytest.approx(90.0)
+
+    def test_floor_without_contention_is_invisible(self):
+        flows = [
+            FlowSpec("vip", cap=1e9, usage={"link": 1.0}, floor=10.0),
+            FlowSpec("bulk", cap=1e9, usage={"link": 1.0}),
+        ]
+        rates = max_min_allocation(flows, [ResourceSpec("link", 100.0)])
+        # Light load: both still share the full link.
+        assert rates["vip"] + rates["bulk"] == pytest.approx(100.0)
+        assert rates["vip"] > rates["bulk"]  # head start retained
+
+    def test_floor_capped_by_cap(self):
+        flows = [FlowSpec("f", cap=30.0, usage={"link": 1.0}, floor=80.0)]
+        rates = max_min_allocation(flows, [ResourceSpec("link", 100.0)])
+        assert rates["f"] == pytest.approx(30.0)
+
+    def test_oversubscribed_floors_scale_down(self):
+        flows = [
+            FlowSpec("a", cap=1e9, usage={"link": 1.0}, floor=80.0),
+            FlowSpec("b", cap=1e9, usage={"link": 1.0}, floor=80.0),
+        ]
+        rates = max_min_allocation(flows, [ResourceSpec("link", 100.0)])
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSpec("f", cap=1.0, floor=-1.0)
+        with pytest.raises(ValueError):
+            FluidTask("t", work=1.0, usage={}, floor=-1.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        floor=st.floats(min_value=0.0, max_value=200.0),
+        n_bulk=st.integers(min_value=0, max_value=6),
+        capacity=st.floats(min_value=10.0, max_value=500.0),
+    )
+    def test_floor_guarantee_property(self, floor, n_bulk, capacity):
+        """A reserved flow always gets min(floor, cap, capacity-share)."""
+        flows = [
+            FlowSpec("vip", cap=1e9, usage={"link": 1.0}, floor=floor)
+        ] + [
+            FlowSpec(f"bulk{i}", cap=1e9, usage={"link": 1.0})
+            for i in range(n_bulk)
+        ]
+        rates = max_min_allocation(flows, [ResourceSpec("link", capacity)])
+        guaranteed = min(floor, capacity)
+        assert rates["vip"] >= guaranteed - 1e-6
+        total = sum(rates.values())
+        assert total <= capacity * (1 + 1e-9) + 1e-9
+
+
+class TestFluidTaskFloor:
+    def test_reserved_task_finishes_predictably(self):
+        env = Environment()
+        sched = FluidScheduler(env)
+        link = sched.add_resource(FluidResource("link", 100.0))
+        vip = FluidTask("vip", work=300.0, usage={link: 1.0}, floor=60.0)
+        bulk = [
+            FluidTask(f"b{i}", work=10000.0, usage={link: 1.0})
+            for i in range(9)
+        ]
+        done = sched.submit(vip)
+        for t in bulk:
+            ev = sched.submit(t)
+            ev._defused = True
+        env.run(until=done)
+        # At >= 60/s the 300 units finish in <= 5 s (fair share would
+        # have given 10/s -> 30 s).
+        assert env.now <= 5.0 + 1e-6

@@ -1,0 +1,366 @@
+"""Tests for Store, Resource, Container, SimSemaphore, SimBarrier."""
+
+import pytest
+
+from repro.simcore import (
+    Container,
+    Environment,
+    Resource,
+    SimBarrier,
+    SimSemaphore,
+    Store,
+)
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield env.timeout(1.0)
+            yield store.put(i)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env, store):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env, store):
+        yield env.timeout(5.0)
+        yield store.put("x")
+
+    c = env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert c.value == (5.0, "x")
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env, store):
+        yield store.put("a")
+        log.append(("a in", env.now))
+        yield store.put("b")
+        log.append(("b in", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(4.0)
+        item = yield store.get()
+        log.append((f"{item} out", env.now))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert ("a in", 0.0) in log
+    assert ("b in", 4.0) in log
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+
+
+# -------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+
+    def user(env, res, name, hold):
+        req = res.request()
+        yield req
+        active.append((name, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    for i, hold in enumerate([10.0, 10.0, 10.0]):
+        env.process(user(env, res, f"u{i}", hold))
+    env.run()
+    assert active == [("u0", 0.0), ("u1", 0.0), ("u2", 10.0)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for name in ["first", "second", "third"]:
+        env.process(user(env, res, name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_unknown_rejected():
+    from repro.simcore.events import SimulationError
+
+    env = Environment()
+    res = Resource(env, capacity=1)
+    bogus = env.event()
+    with pytest.raises(SimulationError):
+        res.release(bogus)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert res.queue_len == 1
+    res.release(r2)  # cancels the queued request
+    assert res.queue_len == 0
+    assert res.count == 1
+    res.release(r1)
+    assert res.count == 0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert res.count == 2
+    assert res.queue_len == 1
+    res.release(r1)
+    assert res.count == 2  # r3 got the slot
+    res.release(r2)
+    res.release(r3)
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+# -------------------------------------------------------------- Container
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=10.0)
+
+    def proc(env, tank):
+        yield tank.get(5.0)
+        assert tank.level == pytest.approx(5.0)
+        yield tank.put(20.0)
+        assert tank.level == pytest.approx(25.0)
+
+    p = env.process(proc(env, tank))
+    env.run()
+    assert p.ok
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=100.0)
+
+    def getter(env, tank):
+        yield tank.get(30.0)
+        return env.now
+
+    def putter(env, tank):
+        yield env.timeout(2.0)
+        yield tank.put(15.0)
+        yield env.timeout(2.0)
+        yield tank.put(15.0)
+
+    g = env.process(getter(env, tank))
+    env.process(putter(env, tank))
+    env.run()
+    assert g.value == pytest.approx(4.0)
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+
+    def putter(env, tank):
+        yield tank.put(5.0)
+        return env.now
+
+    def drainer(env, tank):
+        yield env.timeout(3.0)
+        yield tank.get(6.0)
+
+    p = env.process(putter(env, tank))
+    env.process(drainer(env, tank))
+    env.run()
+    assert p.value == pytest.approx(3.0)
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+    with pytest.raises(ValueError):
+        tank.put(11)
+
+
+# ------------------------------------------------------------- Semaphore
+def test_semaphore_initial_value_consumed():
+    env = Environment()
+    sem = SimSemaphore(env, value=2)
+    times = []
+
+    def waiter(env, sem, name):
+        yield sem.wait()
+        times.append((name, env.now))
+
+    for i in range(3):
+        env.process(waiter(env, sem, i))
+
+    def poster(env, sem):
+        yield env.timeout(5.0)
+        sem.post()
+
+    env.process(poster(env, sem))
+    env.run()
+    assert times == [(0, 0.0), (1, 0.0), (2, 5.0)]
+
+
+def test_semaphore_post_then_wait():
+    env = Environment()
+    sem = SimSemaphore(env)
+    sem.post()
+    assert sem.value == 1
+
+    def waiter(env, sem):
+        yield sem.wait()
+        return env.now
+
+    w = env.process(waiter(env, sem))
+    env.run()
+    assert w.value == 0.0
+    assert sem.value == 0
+
+
+def test_semaphore_negative_initial_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SimSemaphore(env, value=-1)
+
+
+def test_semaphore_ping_pong():
+    """The Appendix-B handshake: two processes alternate via a pair."""
+    env = Environment()
+    sem_a = SimSemaphore(env)
+    sem_b = SimSemaphore(env)
+    trace = []
+
+    def render(env):
+        for step in range(3):
+            trace.append(("render requests", step, env.now))
+            sem_a.post()
+            yield sem_b.wait()
+            trace.append(("render got data", step, env.now))
+
+    def reader(env):
+        while True:
+            yield sem_a.wait()
+            yield env.timeout(2.0)  # simulated load time
+            trace.append(("reader loaded", env.now))
+            sem_b.post()
+
+    env.process(render(env))
+    env.process(reader(env))
+    env.run(until=100.0)
+    loads = [t for t in trace if t[0] == "reader loaded"]
+    assert [t[1] for t in loads] == [2.0, 4.0, 6.0]
+
+
+# --------------------------------------------------------------- Barrier
+def test_barrier_releases_all_at_once():
+    env = Environment()
+    bar = SimBarrier(env, parties=3)
+    released = []
+
+    def worker(env, bar, name, delay):
+        yield env.timeout(delay)
+        yield bar.wait()
+        released.append((name, env.now))
+
+    env.process(worker(env, bar, "a", 1.0))
+    env.process(worker(env, bar, "b", 5.0))
+    env.process(worker(env, bar, "c", 3.0))
+    env.run()
+    assert sorted(released) == [("a", 5.0), ("b", 5.0), ("c", 5.0)]
+
+
+def test_barrier_is_reusable():
+    env = Environment()
+    bar = SimBarrier(env, parties=2)
+    gens = []
+
+    def worker(env, bar, delays):
+        for d in delays:
+            yield env.timeout(d)
+            gen = yield bar.wait()
+            gens.append((gen, env.now))
+
+    env.process(worker(env, bar, [1.0, 1.0]))
+    env.process(worker(env, bar, [2.0, 2.0]))
+    env.run()
+    assert gens == [(1, 2.0), (1, 2.0), (2, 4.0), (2, 4.0)]
+
+
+def test_barrier_single_party_never_blocks():
+    env = Environment()
+    bar = SimBarrier(env, parties=1)
+
+    def solo(env, bar):
+        yield bar.wait()
+        return env.now
+
+    p = env.process(solo(env, bar))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_barrier_invalid_parties():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SimBarrier(env, parties=0)

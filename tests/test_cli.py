@@ -1,0 +1,100 @@
+"""Tests for the visapult command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_campaigns(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lan_e4500" in out
+        assert "esnet_anl" in out
+
+
+class TestCampaign:
+    def test_scaled_campaign_runs(self, capsys):
+        code = main(
+            ["campaign", "lan_e4500", "--scaled", "--frames", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign lan-e4500-serial" in out
+        assert "Mbps" in out
+
+    def test_overlapped_flag(self, capsys):
+        code = main(
+            ["campaign", "lan_e4500", "--scaled", "--frames", "2",
+             "--overlapped"]
+        )
+        assert code == 0
+        assert "overlapped" in capsys.readouterr().out
+
+    def test_nlv_plot(self, capsys):
+        code = main(
+            ["campaign", "lan_e4500", "--scaled", "--frames", "2", "--nlv"]
+        )
+        assert code == 0
+        assert "BE_LOAD_START" in capsys.readouterr().out
+
+    def test_unknown_campaign(self, capsys):
+        assert main(["campaign", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+
+class TestIperf:
+    def test_esnet_single_stream(self, capsys):
+        assert main(["iperf", "--wan", "esnet", "--megabytes", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out and "esnet" in out
+
+    def test_parallel_streams(self, capsys):
+        assert main(
+            ["iperf", "--wan", "lan", "--streams", "4",
+             "--megabytes", "20"]
+        ) == 0
+        assert "4 stream(s)" in capsys.readouterr().out
+
+
+class TestArtifacts:
+    def test_sweep_prints_angles(self, capsys):
+        code = main(
+            ["artifacts", "--angles", "0", "20", "--size", "24",
+             "--image-size", "32"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.0 deg" in out and "20.0 deg" in out
+
+    def test_axis_switching_mode(self, capsys):
+        code = main(
+            ["artifacts", "--angles", "80", "--size", "24",
+             "--image-size", "32", "--axis-switching"]
+        )
+        assert code == 0
+        assert "axis switching" in capsys.readouterr().out
+
+
+class TestLive:
+    def test_live_run(self, capsys, tmp_path):
+        out_path = str(tmp_path / "frame.ppm")
+        code = main(
+            ["live", "--pes", "2", "--steps", "2", "--size", "24",
+             "--image-size", "48", "--output", out_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assembled 2 frames" in out
+        assert open(out_path, "rb").read(2) == b"P6"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

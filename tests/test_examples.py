@@ -1,0 +1,76 @@
+"""Freshness tests: every example script must run end to end.
+
+Each example executes in a temporary working directory (they write
+PPM files) with a module-level timeout. The heavier scripts are
+exercised through their importable functions where that is cheaper.
+"""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, tmp_path, timeout: float = 240.0) -> str:
+    """Run an example as a subprocess in ``tmp_path``; return stdout."""
+    script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    proc = subprocess.run(
+        [sys.executable, script],
+        cwd=str(tmp_path),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+def test_quickstart(tmp_path):
+    out = run_example("quickstart.py", tmp_path)
+    assert "Simulated campaign" in out
+    assert (tmp_path / "quickstart_frame.ppm").exists()
+
+
+def test_sc99_demo(tmp_path):
+    out = run_example("sc99_demo.py", tmp_path)
+    assert "staged" in out
+    assert "SC99" in out
+
+
+def test_live_pipeline(tmp_path):
+    out = run_example("live_pipeline.py", tmp_path)
+    assert "assembled frames [0, 1, 2, 3]" in out
+    assert (tmp_path / "live_frame_serial.ppm").exists()
+    assert (tmp_path / "live_frame_overlapped.ppm").exists()
+
+
+def test_scaling_study(tmp_path):
+    out = run_example("scaling_study.py", tmp_path)
+    assert "PEs" in out
+    assert "render time keeps falling" in out
+
+
+def test_corridor_planner(tmp_path):
+    out = run_example("corridor_planner.py", tmp_path)
+    assert "session plan" in out
+    assert "ran the chosen placement" in out
+
+
+@pytest.mark.slow
+def test_combustion_corridor(tmp_path):
+    out = run_example("combustion_corridor.py", tmp_path, timeout=420.0)
+    assert "Figure 13" in out
+    assert "speedup Ts/To" in out
+
+
+@pytest.mark.slow
+def test_ibravr_explorer(tmp_path):
+    out = run_example("ibravr_explorer.py", tmp_path, timeout=420.0)
+    assert "16 deg cone edge" in out
+    assert (tmp_path / "ibravr_gt_0deg.ppm").exists()

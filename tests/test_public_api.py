@@ -1,0 +1,63 @@
+"""Public-API smoke tests: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.simcore",
+    "repro.netsim",
+    "repro.dpss",
+    "repro.hpss",
+    "repro.volren",
+    "repro.ibravr",
+    "repro.scenegraph",
+    "repro.netlogger",
+    "repro.protocol",
+    "repro.mpc",
+    "repro.backend",
+    "repro.viewer",
+    "repro.core",
+    "repro.live",
+    "repro.datagen",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} must declare __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstring(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_and_functions_documented(package):
+    """Every public item a package exports carries a docstring."""
+    mod = importlib.import_module(package)
+    undocumented = []
+    for name in mod.__all__:
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{package} exports undocumented items: {undocumented}"
+    )
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
