@@ -5,24 +5,29 @@ from the DPSS, volume renders it (CPU time from the calibrated
 :class:`~repro.volren.renderer.RenderCostModel`), and ships a light
 (metadata) plus heavy (texture) payload to the viewer.
 
-The **overlapped** mode is a line-for-line port of Appendix B: each
-PE's render process launches a detached reader process; a pair of
-semaphores (A: "reader may proceed", B: "data ready") hands frames
-across a double buffer, and "while the data for frame N is being
-rendered, data for frame N+1 is being loaded."
+The **overlapped** mode reproduces Appendix B: a reader stage hands
+frames to the render loop across a bounded buffer whose depth-2
+instance *is* the paper's double buffer plus semaphore pair ("while
+the data for frame N is being rendered, data for frame N+1 is being
+loaded"). The handshake itself lives in the shared
+:mod:`repro.simcore.pipeline` framework; the back end only wires the
+reader -> render -> transmit stages and supplies their work functions.
+``overlap_depth`` generalises the double buffer: at depth k the reader
+may run up to k-1 frames ahead of the render loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 
 from repro.dpss.client import DpssClient
 from repro.netlogger.events import Tags
 from repro.netlogger.logger import NetLogger
 from repro.netsim.tcp import TcpParams
 from repro.simcore.fluid import FluidResource, FluidTask
-from repro.simcore.sync import SimBarrier, SimSemaphore
+from repro.simcore.pipeline import Pipeline, PipelineSummary
+from repro.simcore.sync import SimBarrier
 from repro.util.rng import spawn_rngs
 from repro.volren.decomposition import slab_decompose
 from repro.volren.renderer import RenderCostModel
@@ -34,8 +39,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.topology import Network
     from repro.netlogger.daemon import NetLogDaemon
     from repro.viewer.sim import SimViewer
-
-_EXIT = -1
 
 
 @dataclass
@@ -79,6 +82,10 @@ class SimBackEnd:
         render_cost: Optional[RenderCostModel] = None,
         n_timesteps: Optional[int] = None,
         overlapped: bool = False,
+        #: frames the reader stage may run ahead of the render loop,
+        #: plus the one being rendered. 2 = Appendix B's double
+        #: buffer; deeper values prefetch further.
+        overlap_depth: int = 2,
         #: Appendix B's rejected alternative: "even-numbered processes
         #: would render, while odd-numbered processes would read data"
         #: -- half the PEs become readers and the raw slab data must be
@@ -122,6 +129,11 @@ class SimBackEnd:
                 f"[1, {meta.n_timesteps}]"
             )
         self.overlapped = overlapped
+        if int(overlap_depth) != overlap_depth or overlap_depth < 2:
+            raise ValueError(
+                f"overlap_depth must be an integer >= 2, got {overlap_depth}"
+            )
+        self.overlap_depth = int(overlap_depth)
         self.mpi_only_overlap = mpi_only_overlap
         if mpi_only_overlap:
             if overlapped:
@@ -161,6 +173,8 @@ class SimBackEnd:
         self.timing = BackEndTiming(
             n_timesteps=self.n_timesteps, n_pes=self.n_pes
         )
+        #: per-rank staged-pipeline accounting (overlapped modes only)
+        self.pipeline_summaries: Dict[int, PipelineSummary] = {}
         self._itemsize = meta.bytes_per_timestep / meta.n_voxels
         self._rngs = spawn_rngs(seed, self.n_pes)
         self._barrier = SimBarrier(network.env, self.n_render_pes)
@@ -336,50 +350,66 @@ class SimBackEnd:
             yield self._barrier.wait()
         return rank
 
+    def _frame_pipeline(
+        self,
+        rank: int,
+        log: NetLogger,
+        load: Callable[[int], Generator],
+    ) -> Pipeline:
+        """Wire the reader -> render -> transmit stages for one PE.
+
+        The slab buffer at depth 2 with the ``on_get`` discipline is
+        Appendix B's double buffer + semaphore pair; the depth-1
+        ``on_done`` rendezvous between render and transmit expresses
+        the strictly serial ``render; send`` body of the Appendix B
+        loop, so the per-frame event sequence is unchanged.
+        """
+        pipe = Pipeline(self.network.env, name=f"pe{rank}")
+        slabs = pipe.buffer(
+            self.overlap_depth, name=f"slabs[{rank}]", release="on_get"
+        )
+        rendered = pipe.buffer(
+            1, name=f"rendered[{rank}]", release="on_done"
+        )
+
+        def load_work(frame: int):
+            yield from load(frame)
+            return frame
+
+        def render_work(frame: int):
+            log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
+            yield from self._render(rank, frame, log)
+            return frame
+
+        def send_work(frame: int):
+            yield from self._send_results(rank, frame, log)
+            log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
+
+        pipe.stage(
+            f"reader[{rank}]",
+            load_work,
+            source=range(self.n_timesteps),
+            outbound=slabs,
+        )
+        pipe.stage(
+            f"render[{rank}]", render_work, inbound=slabs, outbound=rendered
+        )
+        pipe.stage(f"transmit[{rank}]", send_work, inbound=rendered)
+        return pipe
+
     def _pe_overlapped(self, rank: int):
-        """Appendix B: detached reader + semaphore pair + double buffer."""
-        env = self.network.env
+        """Appendix B as a staged pipeline: reader/render/transmit."""
         log = self._loggers[rank]
         client, open_ev = self._open_client(rank)
         handle = yield open_ev
 
-        sem_a = SimSemaphore(env)  # render -> reader: "go read"
-        sem_b = SimSemaphore(env)  # reader -> render: "data ready"
-        control = {"cmd": _EXIT}
+        def load(frame: int):
+            yield from self._load(rank, client, handle, frame, log)
 
-        def reader():
-            while True:
-                yield sem_a.wait()
-                cmd = control["cmd"]
-                if cmd == _EXIT:
-                    return
-                yield env.process(
-                    self._load(rank, client, handle, cmd, log)
-                )
-                sem_b.post()
-
-        reader_proc = env.process(reader())
-
-        # Prime the pipeline: request frame 0 and wait for it.
-        control["cmd"] = 0
-        sem_a.post()
-        yield sem_b.wait()
-
-        for frame in range(self.n_timesteps):
-            log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
-            if frame + 1 < self.n_timesteps:
-                # Request frame N+1 before rendering frame N; the
-                # double buffer's even/odd halves keep them disjoint.
-                control["cmd"] = frame + 1
-                sem_a.post()
-            yield env.process(self._render(rank, frame, log))
-            yield env.process(self._send_results(rank, frame, log))
-            log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
-            if frame + 1 < self.n_timesteps:
-                yield sem_b.wait()
-        control["cmd"] = _EXIT
-        sem_a.post()
-        yield reader_proc
+        pipe = self._frame_pipeline(rank, log, load)
+        summary = yield pipe.run()
+        self.pipeline_summaries[rank] = summary
+        pipe.report(log)
         yield self._barrier.wait()
         return rank
 
@@ -388,25 +418,23 @@ class SimBackEnd:
 
         Render rank ``rank`` runs on ``pe_hosts[rank]``; its partner
         reader rank runs on ``pe_hosts[n_render_pes + rank]``. The
-        reader loads a slab from the DPSS and then must *transmit* it
-        to the render process over the message-passing fabric -- "the
-        need to transmit large amounts of scientific data between
-        reader and render processes", the cost the paper's threaded
-        design deliberately avoids.
+        reader stage loads a slab from the DPSS and then must
+        *transmit* it to the render process over the message-passing
+        fabric -- "the need to transmit large amounts of scientific
+        data between reader and render processes", the cost the
+        paper's threaded design deliberately avoids.
         """
-        env = self.network.env
         reader_rank = self.n_render_pes + rank
         render_log = self._loggers[rank]
         reader_log = self._loggers[reader_rank]
         client, open_ev = self._open_client(reader_rank)
         handle = yield open_ev
 
-        sem_a = SimSemaphore(env)
-        sem_b = SimSemaphore(env)
-        control = {"cmd": _EXIT}
-
-        def transmit(frame: int):
-            """Ship the raw slab from reader to render rank."""
+        def load(frame: int):
+            # BE_LOAD spans the DPSS read; the MPI hand-off that
+            # follows additionally gates the render process (the
+            # extra pipeline stage this design pays for).
+            yield from self._load(rank, client, handle, frame, reader_log)
             task = FluidTask(
                 f"mpi-xfer[{rank}]",
                 work=self.slab_bytes(rank),
@@ -415,42 +443,11 @@ class SimBackEnd:
             )
             yield self.network.sched.submit(task)
 
-        def reader():
-            while True:
-                yield sem_a.wait()
-                cmd = control["cmd"]
-                if cmd == _EXIT:
-                    return
-                # BE_LOAD spans the DPSS read; the MPI hand-off that
-                # follows additionally gates the render process (the
-                # extra pipeline stage this design pays for).
-                yield env.process(
-                    self._load(rank, client, handle, cmd, reader_log)
-                )
-                yield env.process(transmit(cmd))
-                sem_b.post()
-
-        reader_proc = env.process(reader())
-        control["cmd"] = 0
-        sem_a.post()
-        yield sem_b.wait()
-
-        for frame in range(self.n_timesteps):
-            render_log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
-            if frame + 1 < self.n_timesteps:
-                control["cmd"] = frame + 1
-                sem_a.post()
-            # Render and reader live on separate nodes: no CPU
-            # contention, full share.
-            yield env.process(self._render(rank, frame, render_log))
-            yield env.process(
-                self._send_results(rank, frame, render_log)
-            )
-            render_log.log(Tags.BE_FRAME_END, frame=frame, rank=rank)
-            if frame + 1 < self.n_timesteps:
-                yield sem_b.wait()
-        control["cmd"] = _EXIT
-        sem_a.post()
-        yield reader_proc
+        # Render and reader live on separate nodes: no CPU contention,
+        # full share -- the render/transmit stages use the render log.
+        pipe = self._frame_pipeline(rank, render_log, load)
+        summary = yield pipe.run()
+        self.pipeline_summaries[rank] = summary
+        pipe.report(render_log)
         yield self._barrier.wait()
         return rank

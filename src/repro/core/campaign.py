@@ -50,6 +50,9 @@ class CampaignConfig:
     wan: WanSpec
     n_pes: int
     overlapped: bool = False
+    #: slab-buffer depth of the overlapped pipeline; 2 is the paper's
+    #: double buffer, larger values let the reader run further ahead
+    overlap_depth: int = 2
     #: Appendix B's rejected MPI-only pipeline (half the ranks read)
     mpi_only_overlap: bool = False
     #: frames actually simulated (full 265 is cheap but unnecessary
@@ -69,6 +72,8 @@ class CampaignConfig:
             raise ValueError("n_pes must be >= 1")
         if self.n_timesteps < 1:
             raise ValueError("n_timesteps must be >= 1")
+        if self.overlap_depth < 2:
+            raise ValueError("overlap_depth must be >= 2")
 
     @property
     def meta(self) -> TimeSeriesMeta:
@@ -288,6 +293,7 @@ def build_session(config: CampaignConfig):
         render_cost=plat.render_cost_model(),
         n_timesteps=config.n_timesteps,
         overlapped=config.overlapped,
+        overlap_depth=config.overlap_depth,
         mpi_only_overlap=config.mpi_only_overlap,
         overlap_render_share=(
             plat.overlap_render_share if config.overlapped else 1.0

@@ -6,7 +6,9 @@ connection per block server -- "the DPSS client library is
 multi-threaded, where the number of client threads is equal to the
 number of DPSS servers. Therefore the speed of the client scales with
 the speed of the server" (section 3.5) -- and a read fans out over all
-servers holding blocks of the requested range.
+servers holding blocks of the requested range. The per-server client
+threads are expressed as staged-pipeline reader stages merging into
+one reassembly stage (:mod:`repro.simcore.pipeline`).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.dpss.blocks import BlockMap
 from repro.dpss.compression import CompressionModel
 from repro.netsim.tcp import TcpConnection, TcpParams
 from repro.simcore.events import Event
+from repro.simcore.pipeline import Pipeline
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,6 +36,8 @@ class ReadStats:
     start: float
     end: float
     per_server_bytes: Dict[str, float] = field(default_factory=dict)
+    #: wall seconds each server stage took (request + transfer)
+    per_server_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hit_blocks: int = 0
     total_blocks: int = 0
     #: bytes that actually crossed the network (< nbytes when wire
@@ -160,7 +165,6 @@ class DpssClient:
         # bypass the disk pool (handled inside the transfer via a
         # reduced disk coefficient).
         stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
-        events = []
         blocks = block_map.blocks_for_range(offset, nbytes)
         per_server_blocks: Dict[str, list] = {}
         for b in blocks:
@@ -180,6 +184,21 @@ class DpssClient:
                     f"{dataset.name!r} but is offline"
                 )
 
+        # One reader stage per server (the client library's
+        # thread-per-server), all merging into one reassembly stage.
+        pipe = Pipeline(env, name=f"dpss-read:{label}")
+        chunks = pipe.buffer(
+            max(len(plan), 1) + 1, name="chunks", release="on_get"
+        )
+
+        def server_work(spec):
+            conn, server, wire, disk_fraction = spec
+            t0 = env.now
+            transfer = yield from self._server_read(
+                conn, server, wire, disk_fraction, label
+            )
+            return (server.name, env.now - t0, transfer)
+
         for server_name, (n_blocks, n_bytes) in plan.items():
             server = self.master.servers[server_name]
             hits, misses = server.cache_lookup(
@@ -196,17 +215,21 @@ class DpssClient:
                 else n_bytes
             )
             stats.wire_bytes += wire
-            events.append(
-                env.process(
-                    self._server_read(
-                        conn, server, wire, disk_fraction, label
-                    )
-                )
+            pipe.stage(
+                f"read:{server_name}",
+                server_work,
+                source=[(conn, server, wire, disk_fraction)],
+                outbound=chunks,
             )
             stats.per_server_bytes[server_name] = n_bytes
 
-        if events:
-            yield env.all_of(events)
+        def reassemble(chunk):
+            name, seconds, _transfer = chunk
+            stats.per_server_seconds[name] = seconds
+
+        pipe.stage("reassemble", reassemble, inbound=chunks)
+        if plan:
+            yield pipe.run()
         if self.compression is not None:
             # Inflate on the client: CPU time that competes with any
             # co-located rendering -- the compression trade-off.

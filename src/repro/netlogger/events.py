@@ -34,6 +34,13 @@ class Tags:
     V_HEAVYPAYLOAD_END = "V_HEAVYPAYLOAD_END"
     V_FRAME_END = "V_FRAME_END"
 
+    # -- staged-pipeline framework (not in the paper's tables;
+    # instruments the shared producer/consumer machinery) -------------
+    PIPE_STAGE_START = "PIPE_STAGE_START"
+    PIPE_STAGE_END = "PIPE_STAGE_END"
+    PIPE_SUMMARY = "PIPE_SUMMARY"
+    PIPE_BUFFER = "PIPE_BUFFER"
+
 
 BACKEND_TAGS = (
     Tags.BE_FRAME_START,

@@ -28,6 +28,17 @@ from repro.simcore.resources import Container, Resource, Store
 from repro.simcore.sync import SimBarrier, SimSemaphore
 from repro.simcore.fairshare import FlowSpec, ResourceSpec, max_min_allocation
 from repro.simcore.fluid import FluidResource, FluidScheduler, FluidTask
+from repro.simcore.pipeline import (
+    DROP,
+    SHUTDOWN,
+    BoundedBuffer,
+    BufferClosed,
+    BufferStats,
+    Pipeline,
+    PipelineSummary,
+    Stage,
+    StageStats,
+)
 
 __all__ = [
     "AllOf",
@@ -49,4 +60,13 @@ __all__ = [
     "FluidResource",
     "FluidScheduler",
     "FluidTask",
+    "DROP",
+    "SHUTDOWN",
+    "BoundedBuffer",
+    "BufferClosed",
+    "BufferStats",
+    "Pipeline",
+    "PipelineSummary",
+    "Stage",
+    "StageStats",
 ]

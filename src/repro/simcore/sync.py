@@ -46,6 +46,13 @@ class SimSemaphore:
             self._waiters.append(ev)
         return ev
 
+    def try_acquire(self) -> bool:
+        """Take a unit immediately if one is free (sem_trywait)."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
     def post(self) -> None:
         """Release one unit (sem_post)."""
         if self._waiters:

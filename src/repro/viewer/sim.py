@@ -4,6 +4,11 @@ The simulated viewer tracks what crosses the wire and when (to
 reproduce the paper's traffic-asymmetry and interactivity claims); the
 pixel-level scene graph work lives in the live implementation and
 :mod:`repro.ibravr`.
+
+The paper's "N I/O service threads decoupled from one render thread"
+structure is expressed on the shared staged-pipeline framework: one
+receive stage per back end PE, all merging into a single scene-update
+stage that feeds the :class:`RenderLoopModel`.
 """
 
 from __future__ import annotations
@@ -15,11 +20,23 @@ from repro.netlogger.events import Tags
 from repro.netlogger.logger import NetLogger
 from repro.netsim.tcp import TcpConnection, TcpParams
 from repro.simcore.events import Event
+from repro.simcore.pipeline import DROP, BoundedBuffer, Pipeline, PipelineSummary
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netlogger.daemon import NetLogDaemon
     from repro.netsim.topology import Network
+
+
+@dataclass
+class _Delivery:
+    """One queued payload hand-off from a back end PE."""
+
+    rank: int
+    frame: int
+    nbytes: float
+    light: bool
+    done: Event
 
 
 @dataclass(frozen=True)
@@ -94,16 +111,34 @@ class SimViewer:
         self.scene_updates = 0
         self.bytes_received = 0.0
         self.frames_completed: Dict[int, Set[int]] = {}
+        # Receive stages (one per PE) merge into the scene-update
+        # stage, which performs the texture swap into the scene graph.
+        self._pipeline = Pipeline(network.env, name=f"viewer:{host_name}")
+        self._inboxes: Dict[int, BoundedBuffer] = {}
+        self._scene_buf = self._pipeline.buffer(None, name="scene-updates")
+        self._pipeline.stage(
+            "scene-update", self._scene_work, inbound=self._scene_buf
+        )
+        self._pipeline.start()
 
     # -- wiring -----------------------------------------------------------
     def register_pe(self, rank: int, host_name: str) -> None:
-        """Create the receiver connection for one back end PE."""
+        """Create the receiver connection and stage for one back end PE."""
         if rank in self._conns:
             raise ValueError(f"rank {rank} already registered")
         self._pe_hosts[rank] = host_name
         self._conns[rank] = TcpConnection(
             self.network, host_name, self.host_name, self.tcp_params
         )
+        inbox = self._pipeline.buffer(None, name=f"inbox[{rank}]")
+        self._inboxes[rank] = inbox
+        self._pipeline.stage(
+            f"receive[{rank}]",
+            self._receive_work,
+            inbound=inbox,
+            outbound=self._scene_buf,
+        )
+        self._pipeline.start()
 
     @property
     def n_connections(self) -> int:
@@ -114,44 +149,60 @@ class SimViewer:
     # -- delivery API used by the back end ---------------------------------
     def deliver_light(self, rank: int, frame: int) -> Event:
         """Ship visualization metadata (~256 bytes) from PE ``rank``."""
-        return self.network.env.process(
-            self._deliver(rank, frame, self.light_bytes, light=True)
-        )
+        return self._enqueue(rank, frame, self.light_bytes, light=True)
 
     def deliver_heavy(self, rank: int, frame: int, nbytes: float) -> Event:
         """Ship a slab texture (plus optional geometry) from PE ``rank``."""
         check_positive("nbytes", nbytes)
-        return self.network.env.process(
-            self._deliver(rank, frame, float(nbytes), light=False)
-        )
+        return self._enqueue(rank, frame, float(nbytes), light=False)
 
-    def _deliver(self, rank: int, frame: int, nbytes: float, *, light: bool):
+    def _enqueue(
+        self, rank: int, frame: int, nbytes: float, *, light: bool
+    ) -> Event:
         if rank not in self._conns:
             raise KeyError(f"PE rank {rank} not registered with viewer")
-        conn = self._conns[rank]
-        key = (rank, frame)
+        done = Event(self.network.env)
+        self._inboxes[rank].put(
+            _Delivery(rank, frame, float(nbytes), light, done)
+        )
+        return done
+
+    # -- pipeline stages ----------------------------------------------------
+    def _receive_work(self, req: _Delivery):
+        """One I/O service thread's unit of work: pull a payload."""
+        conn = self._conns[req.rank]
+        key = (req.rank, req.frame)
         if key not in self._started_frames:
             self._started_frames.add(key)
-            self.logger.log(Tags.V_FRAME_START, frame=frame, rank=rank)
+            self.logger.log(Tags.V_FRAME_START, frame=req.frame, rank=req.rank)
         start_tag = (
-            Tags.V_LIGHTPAYLOAD_START if light else Tags.V_HEAVYPAYLOAD_START
+            Tags.V_LIGHTPAYLOAD_START if req.light
+            else Tags.V_HEAVYPAYLOAD_START
         )
         end_tag = (
-            Tags.V_LIGHTPAYLOAD_END if light else Tags.V_HEAVYPAYLOAD_END
+            Tags.V_LIGHTPAYLOAD_END if req.light else Tags.V_HEAVYPAYLOAD_END
         )
-        self.logger.log(start_tag, frame=frame, rank=rank)
+        self.logger.log(start_tag, frame=req.frame, rank=req.rank)
         stats = yield conn.send(
-            nbytes, label=f"{'light' if light else 'heavy'}[{rank}]"
+            req.nbytes,
+            label=f"{'light' if req.light else 'heavy'}[{req.rank}]",
         )
-        self.logger.log(end_tag, frame=frame, rank=rank)
-        self.bytes_received += nbytes
-        if not light:
-            # The heavy payload completes this PE's contribution; the
-            # texture is swapped into the scene graph.
-            self.scene_updates += 1
-            self.frames_completed.setdefault(frame, set()).add(rank)
-            self.logger.log(Tags.V_FRAME_END, frame=frame, rank=rank)
-        return stats
+        self.logger.log(end_tag, frame=req.frame, rank=req.rank)
+        self.bytes_received += req.nbytes
+        if req.light:
+            # Metadata never touches the scene graph: complete here.
+            req.done.succeed(stats)
+            return DROP
+        return (req, stats)
+
+    def _scene_work(self, item):
+        """The render thread's ingest: swap a texture into the scene."""
+        req, stats = item
+        self.scene_updates += 1
+        self.frames_completed.setdefault(req.frame, set()).add(req.rank)
+        self.logger.log(Tags.V_FRAME_END, frame=req.frame, rank=req.rank)
+        req.done.succeed(stats)
+        return DROP
 
     # -- results ------------------------------------------------------------
     def complete_frames(self, n_pes: int) -> int:
@@ -160,3 +211,7 @@ class SimViewer:
             1 for ranks in self.frames_completed.values()
             if len(ranks) >= n_pes
         )
+
+    def pipeline_summary(self) -> PipelineSummary:
+        """Per-stage accounting for the receive/scene-update pipeline."""
+        return self._pipeline.summary()

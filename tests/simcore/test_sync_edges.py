@@ -1,0 +1,173 @@
+"""Edge cases for the synchronisation primitives.
+
+The paper's Appendix B handshake depends on SysV semaphore semantics
+being exact: a post with no waiter must bank a unit (release before
+acquire), the frame barrier is reused every timestep, and pipeline
+shutdown must wake consumers blocked mid-``get``.
+"""
+
+import pytest
+
+from repro.simcore import (
+    BoundedBuffer,
+    Environment,
+    SHUTDOWN,
+    SimBarrier,
+    SimSemaphore,
+)
+
+
+class TestSemaphoreReleaseBeforeAcquire:
+    def test_post_before_wait_banks_a_unit(self):
+        env = Environment()
+        sem = SimSemaphore(env)
+        sem.post()
+        assert sem.value == 1
+        ev = sem.wait()
+        env.run()
+        assert ev.triggered and ev.ok
+        assert sem.value == 0
+
+    def test_multiple_posts_bank_multiple_units(self):
+        env = Environment()
+        sem = SimSemaphore(env)
+        for _ in range(3):
+            sem.post()
+        waits = [sem.wait() for _ in range(3)]
+        env.run()
+        assert all(w.triggered for w in waits)
+        assert sem.value == 0
+
+    def test_fifo_wakeup_order(self):
+        """Waiters are released oldest-first, one per post."""
+        env = Environment()
+        sem = SimSemaphore(env)
+        woken = []
+
+        def waiter(env, tag):
+            yield sem.wait()
+            woken.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(waiter(env, tag))
+
+        def poster(env):
+            yield env.timeout(1.0)
+            sem.post()
+            yield env.timeout(1.0)
+            sem.post()
+
+        env.process(poster(env))
+        env.run()
+        assert woken == ["a", "b"]
+        assert sem.value == 0
+
+    def test_post_while_waiters_queued_does_not_inflate_value(self):
+        """A post that wakes a waiter must not also bank a unit."""
+        env = Environment()
+        sem = SimSemaphore(env)
+        ev = sem.wait()
+        sem.post()
+        env.run()
+        assert ev.triggered
+        assert sem.value == 0
+
+
+class TestBarrierReuse:
+    def test_generations_increment_across_rounds(self):
+        env = Environment()
+        barrier = SimBarrier(env, 2)
+        generations = []
+
+        def party(env):
+            for _ in range(3):
+                gen = yield barrier.wait()
+                generations.append(gen)
+
+        env.process(party(env))
+        env.process(party(env))
+        env.run()
+        # Both parties observe each generation, three rounds deep.
+        assert sorted(generations) == [1, 1, 2, 2, 3, 3]
+
+    def test_barrier_resets_after_release(self):
+        env = Environment()
+        barrier = SimBarrier(env, 2)
+        barrier.wait()
+        assert barrier.n_waiting == 1
+        barrier.wait()
+        assert barrier.n_waiting == 0
+        # Reusable: the next arrival queues afresh.
+        barrier.wait()
+        assert barrier.n_waiting == 1
+
+    def test_straggler_does_not_join_previous_generation(self):
+        """A party arriving after a release waits for a full new round."""
+        env = Environment()
+        barrier = SimBarrier(env, 2)
+        a = barrier.wait()
+        b = barrier.wait()
+        late = barrier.wait()
+        env.run()
+        assert a.triggered and b.triggered
+        assert not late.triggered
+
+
+class TestBufferShutdownWhileBlocked:
+    def test_close_wakes_consumer_blocked_on_get(self):
+        env = Environment()
+        buf = BoundedBuffer(env, 2, name="b")
+        seen = []
+
+        def consumer(env):
+            item = yield buf.get()
+            seen.append(item)
+
+        def closer(env):
+            yield env.timeout(5.0)
+            buf.close()
+
+        env.process(consumer(env))
+        env.process(closer(env))
+        env.run()
+        assert seen == [SHUTDOWN]
+        assert env.now == pytest.approx(5.0)
+
+    def test_close_wakes_every_blocked_consumer(self):
+        env = Environment()
+        buf = BoundedBuffer(env, None, name="b")
+        seen = []
+
+        def consumer(env):
+            item = yield buf.get()
+            seen.append(item)
+
+        for _ in range(3):
+            env.process(consumer(env))
+
+        def closer(env):
+            yield env.timeout(1.0)
+            buf.close()
+
+        env.process(closer(env))
+        env.run()
+        assert seen == [SHUTDOWN, SHUTDOWN, SHUTDOWN]
+
+    def test_queued_items_drain_before_shutdown(self):
+        """close() lets committed items be consumed first."""
+        env = Environment()
+        buf = BoundedBuffer(env, None, name="b")
+        buf.put("x")
+        buf.close()
+        seen = []
+
+        def consumer(env):
+            while True:
+                item = yield buf.get()
+                seen.append(item)
+                if item is SHUTDOWN:
+                    return
+
+        env.process(consumer(env))
+        env.run()
+        assert seen == ["x", SHUTDOWN]

@@ -6,24 +6,32 @@ exercised through their importable functions where that is cheaper.
 """
 
 import os
-import runpy
 import subprocess
 import sys
 
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
 
 
 def run_example(name: str, tmp_path, timeout: float = 240.0) -> str:
     """Run an example as a subprocess in ``tmp_path``; return stdout."""
     script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
     proc = subprocess.run(
         [sys.executable, script],
         cwd=str(tmp_path),
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, (
         f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
