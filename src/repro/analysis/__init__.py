@@ -1,0 +1,48 @@
+"""Static analysis and runtime sanitizers for the concurrency layer.
+
+Two halves, one goal: machine-check the handshake disciplines the
+paper's pipeline depends on (Appendix B's semaphore pair over a double
+buffer, the staged-pipeline credits, the live-mode locks).
+
+- :mod:`~repro.analysis.sanitizer` -- a tsan-for-the-DES. Opt-in
+  hooks in the sim primitives build a wait-for graph and catch
+  deadlocks, hangs, lost wakeups, leaked reserve credits and
+  buffer-protocol violations, reported as NetLogger ``SAN_*`` events.
+- :mod:`~repro.analysis.threadsan` -- lockdep-style lock-order
+  checking for the live (threaded) back end and viewer.
+- :mod:`~repro.analysis.lint` -- the ``visapult lint`` AST linter
+  enforcing repo invariants (no wall-clock or threading in sim-only
+  code, processes must yield, declared event vocabulary, no bare
+  except).
+- :mod:`~repro.analysis.findings` -- the shared finding/report types.
+"""
+
+from repro.analysis.findings import CATEGORY_TAGS, Finding, SanitizerReport
+from repro.analysis.lint import LintFinding, lint_file, lint_source, run_lint
+from repro.analysis.sanitizer import SimSanitizer, attach_sanitizer
+from repro.analysis.threadsan import (
+    ThreadSanitizer,
+    TrackedLock,
+    disable_thread_sanitizer,
+    enable_thread_sanitizer,
+    named_lock,
+    thread_sanitizer,
+)
+
+__all__ = [
+    "CATEGORY_TAGS",
+    "Finding",
+    "SanitizerReport",
+    "SimSanitizer",
+    "attach_sanitizer",
+    "ThreadSanitizer",
+    "TrackedLock",
+    "enable_thread_sanitizer",
+    "disable_thread_sanitizer",
+    "thread_sanitizer",
+    "named_lock",
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "run_lint",
+]

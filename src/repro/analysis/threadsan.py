@@ -1,0 +1,165 @@
+"""Lockdep-style lock-order checking for the live (threaded) mode.
+
+The live back end and viewer replace sim processes with real
+``threading`` threads; the failure mode the DES sanitizer cannot see
+there is a lock-order inversion (thread 1 takes A then B, thread 2
+takes B then A). :func:`named_lock` gives each lock a *class name*
+("viewer.state", "backend.axis", "scenegraph.scene"); while a
+:class:`ThreadSanitizer` is enabled, every acquisition records an
+ordering edge ``held -> acquired`` and an edge that closes a cycle is
+reported as a ``lock-order`` finding -- at the first inverted
+*acquisition order*, without needing the deadlock to actually strike.
+
+Zero overhead when disabled: :func:`named_lock` returns a plain
+``threading.Lock`` unless a sanitizer is active at creation time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, SanitizerReport
+
+
+class ThreadSanitizer:
+    """Observes named-lock acquisition order across live threads."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self._mutex = threading.Lock()
+        #: ordering edges: lock class -> classes acquired while held
+        self._edges: Dict[str, Set[str]] = {}
+        self._reported: Set[Tuple[str, str]] = set()
+        self._held = threading.local()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """True when ``goal`` is reachable from ``start`` in the graph."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    # -- hooks ---------------------------------------------------------
+    def on_acquire(self, name: str) -> None:
+        """About to acquire a lock of class ``name``."""
+        stack = self._stack()
+        with self._mutex:
+            for held in stack:
+                if held == name:
+                    continue  # re-entrant acquisition of the same class
+                if self._reaches(name, held):
+                    pair = tuple(sorted((held, name)))
+                    if pair not in self._reported:
+                        self._reported.add(pair)
+                        self.findings.append(
+                            Finding(
+                                "lock-order",
+                                f"locks:{pair[0]}<->{pair[1]}",
+                                f"inverted order: {name} taken while "
+                                f"holding {held}, but {held} is also "
+                                f"taken while (transitively) holding "
+                                f"{name}",
+                            )
+                        )
+                else:
+                    self._edges.setdefault(held, set()).add(name)
+        stack.append(name)
+
+    def on_release(self, name: str) -> None:
+        """Released a lock of class ``name``."""
+        stack = self._stack()
+        if name in stack:
+            # Remove the innermost occurrence: releases may not be
+            # perfectly LIFO (e.g. hand-over-hand locking).
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == name:
+                    del stack[i]
+                    break
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> SanitizerReport:
+        """The lock-order findings collected so far."""
+        with self._mutex:
+            return SanitizerReport(findings=list(self.findings))
+
+
+_ACTIVE: Optional[ThreadSanitizer] = None
+
+
+def enable_thread_sanitizer() -> ThreadSanitizer:
+    """Activate (and return) the process-wide thread sanitizer."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = ThreadSanitizer()
+    return _ACTIVE
+
+
+def disable_thread_sanitizer() -> None:
+    """Deactivate the process-wide thread sanitizer."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def thread_sanitizer() -> Optional[ThreadSanitizer]:
+    """The active sanitizer, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+class TrackedLock:
+    """A ``threading.Lock`` that reports its class to the sanitizer.
+
+    Acquisition order is recorded *before* blocking, so an inversion
+    is flagged even when the schedule happens not to deadlock.
+    """
+
+    def __init__(self, name: str, sanitizer: ThreadSanitizer):
+        self.name = name
+        self._sanitizer = sanitizer
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer.on_acquire(self.name)
+        ok = self._lock.acquire(blocking, timeout)
+        if not ok:
+            self._sanitizer.on_release(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer.on_release(self.name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def named_lock(name: str):
+    """A mutex carrying the lock-class ``name`` for order checking.
+
+    Returns a raw ``threading.Lock`` when no thread sanitizer is
+    active at creation time -- the instrumented path costs nothing in
+    production use.
+    """
+    sanitizer = thread_sanitizer()
+    if sanitizer is None:
+        return threading.Lock()
+    return TrackedLock(name, sanitizer)

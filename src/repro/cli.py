@@ -4,6 +4,8 @@ Installed as the ``visapult`` console script::
 
     visapult list
     visapult campaign lan_e4500 --overlapped --nlv
+    visapult campaign lan_e4500 --scaled --sanitize
+    visapult lint
     visapult iperf --wan esnet --streams 8
     visapult artifacts --angles 0 16 45
     visapult live --pes 4 --steps 3 --overlapped
@@ -66,12 +68,25 @@ def cmd_campaign(args) -> int:
         config = config.with_changes(
             shape=(160, 64, 64), dataset_timesteps=max(config.n_timesteps, 8)
         )
-    result = run_campaign(config)
+    result = run_campaign(config, sanitize=args.sanitize)
     print(result.summary())
     if args.nlv:
         print()
         print(lifeline_plot(result.event_log, width=args.width))
+    if args.sanitize:
+        from repro.analysis import SanitizerReport
+
+        report = SanitizerReport(findings=result.sanitizer_findings)
+        print(report.summary())
+        if not report.clean:
+            return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.paths)
 
 
 def cmd_iperf(args) -> int:
@@ -197,7 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nlv", action="store_true",
                    help="print the NLV lifeline plot")
     p.add_argument("--width", type=int, default=100)
+    p.add_argument("--sanitize", action="store_true",
+                   help="run with the concurrency sanitizer attached")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "lint", help="check project invariants (VIS1xx rules)"
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to lint (default: the repro package)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("iperf", help="probe a simulated WAN path")
     p.add_argument("--wan", choices=["nton", "nton-tuned", "esnet",

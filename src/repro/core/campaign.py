@@ -310,9 +310,35 @@ def build_session(config: CampaignConfig):
     return net, backend, viewer, daemon
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Build and run a campaign to completion; reduce the results."""
+def run_campaign(
+    config: CampaignConfig, *, sanitize: bool = False
+) -> CampaignResult:
+    """Build and run a campaign to completion; reduce the results.
+
+    With ``sanitize=True`` the concurrency sanitizer observes the run
+    (identical sim timings -- it only watches) and its findings land
+    in ``result.sanitizer_findings`` plus ``SAN_*`` daemon events.
+    """
     net, backend, viewer, daemon = build_session(config)
+    sanitizer = None
+    if sanitize:
+        from repro.analysis import attach_sanitizer
+        from repro.netlogger.logger import NetLogger
+
+        sanitizer = attach_sanitizer(
+            net.env,
+            logger=NetLogger(
+                "sanitizer",
+                "sanitizer",
+                clock=lambda: net.env.now,
+                daemon=daemon,
+            ),
+        )
     done = backend.run()
     net.run(until=done)
-    return CampaignResult.from_run(config, net, backend, viewer, daemon)
+    result = CampaignResult.from_run(config, net, backend, viewer, daemon)
+    if sanitizer is not None:
+        # Reduce results first so event_log matches the unsanitized
+        # run exactly; the SAN_* events land in the daemon afterwards.
+        result.sanitizer_findings = list(sanitizer.report().findings)
+    return result

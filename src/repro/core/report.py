@@ -46,6 +46,9 @@ class CampaignResult:
     #: sampled (time, fraction-of-usable-capacity) on the WAN link --
     #: the bandwidth-over-time view NLV plots alongside the lifelines
     wan_utilization_series: list = field(default_factory=list, repr=False)
+    #: concurrency-sanitizer findings when the campaign ran with
+    #: ``sanitize=True`` (empty for clean or unsanitized runs)
+    sanitizer_findings: list = field(default_factory=list, repr=False)
 
     @classmethod
     def from_run(

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.threadsan import named_lock
 from repro.datagen.amr import build_amr_hierarchy, grid_line_segments
 from repro.ibravr.axis import AxisChoice
 from repro.mpc.comm import Communicator, run_spmd
@@ -86,7 +87,7 @@ class LiveBackEnd:
         # The axis all PEs use next frame; rank 0 updates it from
         # viewer feedback, everyone reads it after a barrier.
         self._axis_cell = AxisChoice(axis=0, flip=False)
-        self._axis_lock = threading.Lock()
+        self._axis_lock = named_lock("backend.axis")
 
     # -- public ---------------------------------------------------------------
     def run(self, timeout: float = 120.0):

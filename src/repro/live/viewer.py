@@ -9,6 +9,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.threadsan import named_lock
 from repro.ibravr.axis import best_view_axis
 from repro.ibravr.compositor import IbravrModel
 from repro.netlogger.events import Tags
@@ -62,7 +63,7 @@ class LiveViewer:
         self._stop = threading.Event()
         self._done = threading.Event()
 
-        self._state_lock = threading.Lock()
+        self._state_lock = named_lock("viewer.state")
         self._expected_pes: Optional[int] = None
         self._n_timesteps: Optional[int] = None
         self._pending_light: Dict[tuple, LightPayload] = {}

@@ -19,9 +19,11 @@ Visapult uses:
 
 from repro.netlogger.events import (
     BACKEND_TAGS,
+    TAG_PREFIXES,
     VIEWER_TAGS,
     NetLogEvent,
     Tags,
+    declared_tags,
     format_ulm,
     parse_ulm,
 )
@@ -33,7 +35,9 @@ from repro.netlogger.skew import causality_violations, correct_skew, estimate_of
 
 __all__ = [
     "BACKEND_TAGS",
+    "TAG_PREFIXES",
     "VIEWER_TAGS",
+    "declared_tags",
     "NetLogEvent",
     "Tags",
     "format_ulm",

@@ -41,6 +41,31 @@ class Tags:
     PIPE_SUMMARY = "PIPE_SUMMARY"
     PIPE_BUFFER = "PIPE_BUFFER"
 
+    # -- concurrency sanitizer (repro.analysis): one tag per finding
+    # category, plus the end-of-run summary record ---------------------
+    SAN_DEADLOCK = "SAN_DEADLOCK"
+    SAN_HANG = "SAN_HANG"
+    SAN_CREDIT_LEAK = "SAN_CREDIT_LEAK"
+    SAN_PROTOCOL = "SAN_PROTOCOL"
+    SAN_LOST_WAKEUP = "SAN_LOST_WAKEUP"
+    SAN_BARRIER_STUCK = "SAN_BARRIER_STUCK"
+    SAN_LOCK_ORDER = "SAN_LOCK_ORDER"
+    SAN_REPORT = "SAN_REPORT"
+
+
+#: the prefixes a tag may legally carry; ``visapult lint`` enforces
+#: that every declared tag and every literal event name matches.
+TAG_PREFIXES = ("BE_", "V_", "DPSS_", "PIPE_", "SAN_")
+
+
+def declared_tags() -> frozenset:
+    """The full event-name vocabulary declared on :class:`Tags`."""
+    return frozenset(
+        value
+        for name, value in vars(Tags).items()
+        if name.isupper() and isinstance(value, str)
+    )
+
 
 BACKEND_TAGS = (
     Tags.BE_FRAME_START,

@@ -78,8 +78,8 @@ class LightPayload:
             tex_width=vals[3],
             axis=vals[4],
             flip=vals[5],
-            slab_lo=tuple(vals[6:9]),
-            slab_hi=tuple(vals[9:12]),
+            slab_lo=(vals[6], vals[7], vals[8]),
+            slab_hi=(vals[9], vals[10], vals[11]),
         )
 
 

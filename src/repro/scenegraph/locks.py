@@ -12,15 +12,30 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Optional
+
+from repro.analysis.threadsan import thread_sanitizer
 
 
 class SceneLock:
     """A mutex plus a monotonically increasing update counter."""
 
-    def __init__(self):
+    def __init__(self, name: str = "scenegraph.scene"):
         self._lock = threading.RLock()
         self._version = 0
         self._changed = threading.Condition(self._lock)
+        self.name = name
+        # The condition variable needs the raw RLock, so order checking
+        # is layered on via explicit hook calls rather than named_lock.
+        self._sanitizer = thread_sanitizer()
+
+    def _note_acquire(self) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.on_acquire(self.name)
+
+    def _note_release(self) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.on_release(self.name)
 
     @property
     def version(self) -> int:
@@ -31,18 +46,28 @@ class SceneLock:
     @contextmanager
     def update(self):
         """Context for mutating the scene; bumps the version on exit."""
-        with self._lock:
-            yield
-            self._version += 1
-            self._changed.notify_all()
+        self._note_acquire()
+        try:
+            with self._lock:
+                yield
+                self._version += 1
+                self._changed.notify_all()
+        finally:
+            self._note_release()
 
     @contextmanager
     def read(self):
         """Context for reading the scene consistently."""
-        with self._lock:
-            yield self._version
+        self._note_acquire()
+        try:
+            with self._lock:
+                yield self._version
+        finally:
+            self._note_release()
 
-    def wait_for_change(self, last_seen: int, timeout: float = None) -> int:
+    def wait_for_change(
+        self, last_seen: int, timeout: Optional[float] = None
+    ) -> int:
         """Block until the version exceeds ``last_seen``; returns it.
 
         The live render thread uses this to sleep between scene graph

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.simcore.events import (
     AllOf,
@@ -14,6 +14,9 @@ from repro.simcore.events import (
     Timeout,
 )
 from repro.simcore.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import SimSanitizer
 
 
 class EmptySchedule(Exception):
@@ -42,6 +45,10 @@ class Environment:
         self._counter = count()
         self._active_process: Optional[Process] = None
         self._unhandled: List[Tuple[Process, BaseException]] = []
+        #: opt-in concurrency sanitizer (:mod:`repro.analysis`); the
+        #: primitives consult this slot at each hook point, so ``None``
+        #: keeps instrumentation at a single attribute test.
+        self.sanitizer: Optional["SimSanitizer"] = None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -135,6 +142,8 @@ class Environment:
                     raise stop_event._value
                 return stop_event.value
             if not self._queue:
+                if self.sanitizer is not None:
+                    self.sanitizer.on_exhausted()
                 if stop_event is not None:
                     raise SimulationError(
                         "run(until=event): queue exhausted before event fired"

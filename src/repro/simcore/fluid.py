@@ -193,6 +193,7 @@ class FluidScheduler:
         del self._active[task.name]
         from repro.simcore.events import Interrupt
 
+        assert task.done is not None  # active tasks were submitted
         task.done.fail(Interrupt("cancelled"))
         task.done._defused = True
         self._reallocate()
@@ -225,6 +226,7 @@ class FluidScheduler:
             t.remaining = 0.0
             t.rate = 0.0
             t.finish_time = self.env.now
+            assert t.done is not None  # active tasks were submitted
             t.done.succeed(self.env.now)
 
         if not self._active:

@@ -151,7 +151,11 @@ class BoundedBuffer:
             self._credits: Optional[SimSemaphore] = None
         else:
             initial = depth - 1 if release == "on_get" else depth
-            self._credits = SimSemaphore(env, initial)
+            # opaque: the buffer carries its own sanitizer hooks, so
+            # the embedded credit semaphore must not double-report.
+            self._credits = SimSemaphore(
+                env, initial, name=f"{name}.credits", opaque=True
+            )
 
     # -- state --------------------------------------------------------
     def __len__(self) -> int:
@@ -172,12 +176,24 @@ class BoundedBuffer:
         """Event granting one production slot (Appendix B semaphore A)."""
         if self._closed:
             raise BufferClosed(f"reserve on closed buffer {self.name!r}")
+        san = self.env.sanitizer
+        proc = self.env.active_process if san is not None else None
+        if san is not None:
+            san.on_producer(self, proc)
         if self._credits is None:
             ev = Event(self.env)
             ev.succeed()
             return ev
         t0 = self.env.now
         ev = self._credits.wait()
+        if san is not None:
+            if ev.triggered:
+                san.on_reserve_granted(self, proc)
+            else:
+                san.on_block("reserve", self, ev, proc)
+                ev.callbacks.append(
+                    lambda _e: san.on_reserve_granted(self, proc)
+                )
         ev.callbacks.append(
             lambda _e: self._note_reserve_wait(self.env.now - t0)
         )
@@ -188,8 +204,22 @@ class BoundedBuffer:
 
     def commit(self, item: Any) -> None:
         """Deposit an item produced under a reserved slot (semaphore B)."""
+        san = self.env.sanitizer
+        proc = self.env.active_process if san is not None else None
+        self._commit_checked(item, proc)
+
+    def _commit_checked(self, item: Any, proc: Optional["Process"]) -> None:
+        """Commit with the producing process pinned by the caller.
+
+        ``put()`` completes blocked deposits from an event callback,
+        where ``active_process`` is no longer the producer; it threads
+        the process it captured at call time through here instead.
+        """
         if self._closed:
             raise BufferClosed(f"commit on closed buffer {self.name!r}")
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_commit(self, proc)
         self.stats.puts += 1
         if self._getters:
             self._getters.popleft().succeed(item)
@@ -214,13 +244,23 @@ class BoundedBuffer:
             done.fail(BufferClosed(f"put on closed buffer {self.name!r}"))
             done._defused = True
             return done
+        san = self.env.sanitizer
+        proc = self.env.active_process if san is not None else None
+        if san is not None:
+            san.on_producer(self, proc)
         if self._credits is None or self._credits.try_acquire():
-            self.commit(item)
+            if san is not None and self._credits is not None:
+                san.on_reserve_granted(self, proc)
+            self._commit_checked(item, proc)
             done.succeed(item)
             return done
         t0 = self.env.now
         grant = self._credits.wait()
         self._pending_puts.append(done)
+        if san is not None:
+            # The producer yields `done`, not the credit grant, so the
+            # wait record must point at `done` for liveness tracking.
+            san.on_block("reserve", self, done, proc)
 
         def _commit(_ev: Event) -> None:
             self.stats.reserve_wait += self.env.now - t0
@@ -228,7 +268,10 @@ class BoundedBuffer:
                 self._pending_puts.remove(done)
             if done.triggered:  # failed by close() while blocked
                 return
-            self.commit(item)
+            inner_san = self.env.sanitizer
+            if inner_san is not None:
+                inner_san.on_reserve_granted(self, proc)
+            self._commit_checked(item, proc)
             done.succeed(item)
 
         grant.callbacks.append(_commit)
@@ -236,12 +279,23 @@ class BoundedBuffer:
 
     def release_credit(self) -> None:
         """Return an unused reserved slot (e.g. on shutdown)."""
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_release(self, self.env.active_process)
+        self._recycle()
+
+    def _recycle(self) -> None:
+        """Recycle a consumed slot (no protocol accounting)."""
         if self._credits is not None:
             self._credits.post()
 
     # -- consumer side ------------------------------------------------
     def get(self) -> Event:
         """Next item, or :data:`SHUTDOWN` once closed and drained."""
+        san = self.env.sanitizer
+        proc = self.env.active_process if san is not None else None
+        if san is not None:
+            san.on_get(self, proc)
         ev = Event(self.env)
         if self._items:
             self._account_occupancy()
@@ -249,9 +303,13 @@ class BoundedBuffer:
             self._on_deliver()
         elif self._closed:
             ev.succeed(SHUTDOWN)
+            if san is not None:
+                san.on_shutdown(self, proc)
         else:
             t0 = self.env.now
             self._getters.append(ev)
+            if san is not None:
+                san.on_block("get", self, ev, proc)
             ev.callbacks.append(
                 lambda _e: self._note_get_wait(self.env.now - t0)
             )
@@ -262,13 +320,19 @@ class BoundedBuffer:
 
     def _on_deliver(self) -> None:
         self.stats.gets += 1
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_delivered(self)
         if self.release == "on_get":
-            self.release_credit()
+            self._recycle()
 
     def task_done(self) -> None:
         """Recycle the consumed item's slot (``on_done`` discipline)."""
         if self.release == "on_done":
-            self.release_credit()
+            san = self.env.sanitizer
+            if san is not None:
+                san.on_task_done(self, self.env.active_process)
+            self._recycle()
 
     # -- shutdown -----------------------------------------------------
     def add_producer(self) -> None:
@@ -353,6 +417,7 @@ class Stage:
         inbound: Optional[BoundedBuffer] = None,
         outbound: Optional[BoundedBuffer] = None,
         logger: Optional["NetLogger"] = None,
+        daemon: bool = False,
     ):
         if (source is None) == (inbound is None):
             raise ValueError("stage needs exactly one of source/inbound")
@@ -363,6 +428,10 @@ class Stage:
         self.inbound = inbound
         self.outbound = outbound
         self.logger = logger
+        #: daemon stages serve for the whole run and are expected to be
+        #: blocked on get() when the simulation ends (e.g. the viewer's
+        #: receive loops); the sanitizer does not flag them as hung.
+        self.daemon = daemon
         self.stats = StageStats(name=name)
         self.process: Optional["Process"] = None
         if outbound is not None:
@@ -395,6 +464,9 @@ class Stage:
 
     def _run(self):
         self.stats.started_at = self.env.now
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_stage_start(self)
         if self.logger is not None:
             from repro.netlogger.events import Tags
 
@@ -409,20 +481,22 @@ class Stage:
                     result = yield from self._do_work(item)
                     self._emit(result)
             else:
+                inbound = self.inbound
+                assert inbound is not None  # constructor: source xor inbound
                 while True:
                     if self.outbound is not None:
                         t0 = self.env.now
                         yield self.outbound.reserve()
                         self.stats.stall_seconds += self.env.now - t0
                     t0 = self.env.now
-                    item = yield self.inbound.get()
+                    item = yield inbound.get()
                     self.stats.wait_seconds += self.env.now - t0
                     if item is SHUTDOWN:
                         if self.outbound is not None:
                             self.outbound.release_credit()
                         break
                     result = yield from self._do_work(item)
-                    self.inbound.task_done()
+                    inbound.task_done()
                     self._emit(result)
         except BaseException as exc:
             self.stats.error = exc
@@ -466,10 +540,12 @@ class Pipeline:
         *,
         name: str = "pipeline",
         logger: Optional["NetLogger"] = None,
+        daemon: bool = False,
     ):
         self.env = env
         self.name = name
         self.logger = logger
+        self.daemon = daemon
         self.stages: List[Stage] = []
         self.buffers: List[BoundedBuffer] = []
         self._started_at: Optional[float] = None
@@ -500,6 +576,7 @@ class Pipeline:
         source: Optional[Iterable[Any]] = None,
         inbound: Optional[BoundedBuffer] = None,
         outbound: Optional[BoundedBuffer] = None,
+        daemon: Optional[bool] = None,
     ) -> Stage:
         """Create and register a :class:`Stage`."""
         st = Stage(
@@ -510,6 +587,7 @@ class Pipeline:
             inbound=inbound,
             outbound=outbound,
             logger=self.logger,
+            daemon=self.daemon if daemon is None else daemon,
         )
         self.stages.append(st)
         return st

@@ -24,10 +24,22 @@ class SimSemaphore:
     ``post()`` adds a unit, waking the oldest waiter if any.
     """
 
-    def __init__(self, env: "Environment", value: int = 0):
+    def __init__(
+        self,
+        env: "Environment",
+        value: int = 0,
+        *,
+        name: str = "sem",
+        opaque: bool = False,
+    ):
         if value < 0:
             raise ValueError(f"initial value must be >= 0, got {value}")
         self.env = env
+        self.name = name
+        #: opaque semaphores are internal to a higher-level primitive
+        #: that carries its own instrumentation (e.g. the credit
+        #: semaphore inside a BoundedBuffer); the sanitizer skips them.
+        self.opaque = opaque
         self._value = value
         self._waiters: Deque[Event] = deque()
 
@@ -44,6 +56,9 @@ class SimSemaphore:
             ev.succeed()
         else:
             self._waiters.append(ev)
+            san = self.env.sanitizer
+            if san is not None and not self.opaque:
+                san.on_block("sem", self, ev)
         return ev
 
     def try_acquire(self) -> bool:
@@ -55,6 +70,9 @@ class SimSemaphore:
 
     def post(self) -> None:
         """Release one unit (sem_post)."""
+        san = self.env.sanitizer
+        if san is not None and not self.opaque:
+            san.on_sem_post(self)
         if self._waiters:
             self._waiters.popleft().succeed()
         else:
@@ -68,11 +86,12 @@ class SimBarrier:
     once the last party arrives, then the barrier resets.
     """
 
-    def __init__(self, env: "Environment", parties: int):
+    def __init__(self, env: "Environment", parties: int, *, name: str = "barrier"):
         if parties < 1:
             raise ValueError(f"parties must be >= 1, got {parties}")
         self.env = env
         self.parties = parties
+        self.name = name
         self._waiting: List[Event] = []
         self._generation = 0
 
@@ -85,10 +104,16 @@ class SimBarrier:
         """Event firing when all ``parties`` have arrived this round."""
         ev = Event(self.env)
         self._waiting.append(ev)
+        san = self.env.sanitizer
+        if san is not None:
+            san.on_barrier_party(self)
         if len(self._waiting) == self.parties:
             waiters, self._waiting = self._waiting, []
             self._generation += 1
             gen = self._generation
             for w in waiters:
                 w.succeed(gen)
+        else:
+            if san is not None:
+                san.on_block("barrier", self, ev)
         return ev

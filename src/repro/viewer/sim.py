@@ -113,7 +113,11 @@ class SimViewer:
         self.frames_completed: Dict[int, Set[int]] = {}
         # Receive stages (one per PE) merge into the scene-update
         # stage, which performs the texture swap into the scene graph.
-        self._pipeline = Pipeline(network.env, name=f"viewer:{host_name}")
+        # daemon=True: receive/scene stages serve for the whole run and
+        # are legitimately parked on get() when the simulation ends.
+        self._pipeline = Pipeline(
+            network.env, name=f"viewer:{host_name}", daemon=True
+        )
         self._inboxes: Dict[int, BoundedBuffer] = {}
         self._scene_buf = self._pipeline.buffer(None, name="scene-updates")
         self._pipeline.stage(

@@ -1,0 +1,154 @@
+"""The ``visapult lint`` project linter: rules fire, the repo is clean."""
+
+import subprocess
+import sys
+
+from repro.analysis.lint import (
+    SIM_ONLY_PACKAGES,
+    default_target,
+    lint_source,
+    run_lint,
+)
+
+SIM_PATH = "src/repro/simcore/example.py"
+LIVE_PATH = "src/repro/live/example.py"
+
+
+def codes(source, path):
+    return [f.code for f in lint_source(source, path)]
+
+
+def test_wall_clock_flagged_in_sim_only_code():
+    source = "import time\n\ndef f():\n    time.sleep(1)\n"
+    assert codes(source, SIM_PATH) == ["VIS101", "VIS101"]
+
+
+def test_wall_clock_from_import_flagged():
+    assert codes("from time import sleep\n", SIM_PATH) == ["VIS101"]
+
+
+def test_wall_clock_allowed_outside_sim_packages():
+    source = "import time\n\ndef f():\n    time.sleep(1)\n"
+    assert codes(source, LIVE_PATH) == []
+
+
+def test_threading_flagged_in_sim_only_code():
+    assert codes("import threading\n", SIM_PATH) == ["VIS102"]
+    assert codes("from threading import Lock\n", SIM_PATH) == ["VIS102"]
+    assert codes("import threading\n", LIVE_PATH) == []
+
+
+def test_process_without_yield_flagged():
+    source = (
+        "def worker(env):\n"
+        "    return 1\n"
+        "\n"
+        "def main(env):\n"
+        "    env.process(worker(env))\n"
+    )
+    assert codes(source, LIVE_PATH) == ["VIS103"]
+
+
+def test_process_with_yield_clean():
+    source = (
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "\n"
+        "def main(env):\n"
+        "    env.process(worker(env))\n"
+    )
+    assert codes(source, LIVE_PATH) == []
+
+
+def test_process_method_resolution_through_self():
+    source = (
+        "class Stage:\n"
+        "    def _run(self):\n"
+        "        return 2\n"
+        "    def start(self, env):\n"
+        "        env.process(self._run())\n"
+    )
+    assert codes(source, LIVE_PATH) == ["VIS103"]
+
+
+def test_process_nested_function_yield_not_counted():
+    source = (
+        "def worker(env):\n"
+        "    def inner():\n"
+        "        yield 1\n"
+        "    return inner()\n"
+        "\n"
+        "def main(env):\n"
+        "    env.process(worker(env))\n"
+    )
+    assert codes(source, LIVE_PATH) == ["VIS103"]
+
+
+def test_unresolvable_process_target_not_flagged():
+    source = "def main(env, gen):\n    env.process(gen)\n"
+    assert codes(source, LIVE_PATH) == []
+
+
+def test_undeclared_event_name_flagged():
+    source = "def f(log):\n    log.log('NOT_A_TAG')\n"
+    assert codes(source, LIVE_PATH) == ["VIS104"]
+    ok = "def f(log):\n    log.log('BE_FRAME_START')\n"
+    assert codes(ok, LIVE_PATH) == []
+
+
+def test_tags_class_prefix_enforced():
+    source = "class Tags:\n    ROGUE = 'XX_EVENT'\n    OK = 'V_THING'\n"
+    assert codes(source, LIVE_PATH) == ["VIS104"]
+
+
+def test_bare_except_flagged():
+    source = "try:\n    pass\nexcept:\n    pass\n"
+    assert codes(source, SIM_PATH) == ["VIS105"]
+    named = "try:\n    pass\nexcept ValueError:\n    pass\n"
+    assert codes(named, SIM_PATH) == []
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", SIM_PATH)
+    assert [f.code for f in findings] == ["VIS100"]
+
+
+def test_sim_only_package_list_matches_issue():
+    assert set(SIM_ONLY_PACKAGES) == {
+        "simcore",
+        "netsim",
+        "dpss",
+        "backend",
+        "viewer",
+    }
+
+
+def test_repo_package_is_lint_clean():
+    findings = run_lint()
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_cli_lint_subcommand_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_cli_lint_exit_code_on_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", str(bad)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1
+    assert "VIS105" in result.stdout
+
+
+def test_default_target_is_the_package():
+    assert default_target().endswith("repro")

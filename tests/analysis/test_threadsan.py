@@ -1,0 +1,102 @@
+"""Lock-order checking for live-mode threads."""
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    TrackedLock,
+    disable_thread_sanitizer,
+    enable_thread_sanitizer,
+    named_lock,
+    thread_sanitizer,
+)
+from repro.scenegraph.locks import SceneLock
+
+from tests.analysis.faults import two_lock_inversion
+
+
+@pytest.fixture
+def sanitizer():
+    san = enable_thread_sanitizer()
+    try:
+        yield san
+    finally:
+        disable_thread_sanitizer()
+
+
+def test_seeded_two_lock_inversion_detected(sanitizer):
+    two_lock_inversion()
+    report = sanitizer.report()
+    assert report.categories() == ("lock-order",)
+    (finding,) = report.findings
+    assert "fault.axis" in finding.subject
+    assert "fault.state" in finding.subject
+
+
+def test_consistent_order_is_clean(sanitizer):
+    lock_a = named_lock("live.outer")
+    lock_b = named_lock("live.inner")
+
+    def worker():
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sanitizer.report().clean
+
+
+def test_named_lock_is_plain_lock_when_disabled():
+    disable_thread_sanitizer()
+    assert thread_sanitizer() is None
+    lock = named_lock("whatever")
+    assert not isinstance(lock, TrackedLock)
+    with lock:
+        pass  # still a perfectly good mutex
+
+
+def test_named_lock_is_tracked_when_enabled(sanitizer):
+    lock = named_lock("live.tracked")
+    assert isinstance(lock, TrackedLock)
+    assert lock.acquire()
+    assert lock.locked()
+    lock.release()
+    assert not lock.locked()
+
+
+def test_scene_lock_participates_in_order_checking(sanitizer):
+    scene = SceneLock()
+    state = named_lock("viewer.state")
+
+    def render_thread():
+        with scene.read():
+            with state:
+                pass
+
+    def io_thread():
+        with state:
+            with scene.update():
+                pass
+
+    for fn in (render_thread, io_thread):
+        t = threading.Thread(target=fn)
+        t.start()
+        t.join()
+    report = sanitizer.report()
+    assert report.categories() == ("lock-order",)
+    assert "scenegraph.scene" in report.findings[0].subject
+
+
+def test_scene_lock_reentrant_use_is_clean(sanitizer):
+    scene = SceneLock()
+    with scene.update():
+        with scene.read() as version:
+            assert version == 0
+    assert scene.version == 1
+    assert sanitizer.report().clean

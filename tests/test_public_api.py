@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.simcore",
     "repro.netsim",
     "repro.dpss",
