@@ -25,6 +25,7 @@ from repro.ibravr import artifact_error
 from repro.netsim import Host, Link, Network, TcpConnection, TcpParams
 from repro.util.units import MB, bytes_per_sec_to_mbps, mbps
 from repro.volren import TransferFunction
+from repro.config import NetworkConfig
 from benchmarks.conftest import once
 
 
@@ -150,8 +151,10 @@ def test_a1_wire_compression_crossover(benchmark, comparison):
 
         client = DpssClient(
             net, "client", master,
-            tcp_params=TcpParams(slow_start=False, max_window=4 * MB),
-            compression=compression,
+            config=NetworkConfig(
+                tcp=TcpParams(slow_start=False, max_window=4 * MB),
+                compression=compression,
+            ),
         )
         open_ev = client.open("ds")
         net.run(until=open_ev)

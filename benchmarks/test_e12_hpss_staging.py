@@ -19,6 +19,7 @@ from repro.dpss import DpssClient, DpssMaster, DpssServer
 from repro.hpss import ArchiveFile, HpssArchive, migrate_to_dpss
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import GB, MB, mbps
+from repro.config import NetworkConfig
 from benchmarks.conftest import once
 
 
@@ -44,7 +45,8 @@ def build_world(dataset_bytes):
                           drive_rate=15 * MB)
     archive.store(ArchiveFile("combustion-run", size=dataset_bytes))
     client = DpssClient(net, "compute", master,
-                        tcp_params=TcpParams(slow_start=False))
+                        config=NetworkConfig(
+                            tcp=TcpParams(slow_start=False)))
     return net, archive, master, client
 
 

@@ -21,6 +21,7 @@ from repro.dpss import DpssClient, DpssDataset, DpssMaster, DpssServer
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.simcore.events import Event
 from repro.util.units import MB, GIGABIT_ETHERNET, bytes_per_sec_to_mbps, mbps
+from repro.config import NetworkConfig
 from benchmarks.conftest import once
 
 
@@ -48,8 +49,9 @@ def build_site(trunk_rate, trunk_efficiency, trunk_latency, n_servers=4,
             net.add_route(f"server{i}", f"client{c}", [trunk])
         clients.append(
             DpssClient(net, f"client{c}", master,
-                       tcp_params=TcpParams(slow_start=False,
-                                            max_window=4 * MB))
+                       config=NetworkConfig(
+                           tcp=TcpParams(slow_start=False,
+                                         max_window=4 * MB)))
         )
     return net, master, clients
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fault drill: replay a failure schedule against an SC99 campaign.
+
+The paper's WAN demos ran on live infrastructure -- block servers
+dropped out, SciNet carried competing traffic, TCP collapsed under
+loss. This example replays a canned schedule of exactly those
+misbehaviours (``examples/plans/sc99_flaky.json``) against the
+simulated SC99 show-floor campaign, with the DPSS client's
+retry/hedging policy switched on, and reports how the run degraded
+and recovered.
+
+Everything is seeded: run it twice and the event stream is
+byte-identical.
+
+Run with::
+
+    python examples/fault_drill.py
+"""
+
+import os
+
+from repro import api
+
+PLAN = os.path.join(os.path.dirname(__file__), "plans", "sc99_flaky.json")
+
+
+def main() -> None:
+    drill = api.load_drill(PLAN)
+    print(f"=== Fault drill: {len(drill.plan)} faults against "
+          f"{drill.campaign} ===")
+    for ev in drill.plan.events:
+        target = getattr(ev, "server", None) or getattr(ev, "link", "master")
+        print(f"  t={ev.at:5.2f}s  {ev.kind:<16s} {target:<10s} "
+              f"for {ev.duration:.2f}s")
+
+    config = api.ExperimentConfig(
+        campaign=drill.campaign,
+        scaled=drill.scaled,
+        seed=drill.seed,
+        faults=drill.plan,
+        policy=drill.policy,
+    )
+    result = api.run_experiment(config, sanitize=True)
+
+    print()
+    print(result.summary())
+    print()
+    n_faults = sum(
+        1 for e in result.event_log.events if e.event == "FAULT_INJECT"
+    )
+    print(f"injected {n_faults} faults; the client spent "
+          f"{result.retries} retries and {result.hedges} hedges riding "
+          f"them out")
+    print(f"degraded frames: {result.degraded_frames} "
+          f"(stale or absent slabs composited)")
+    print(f"recovery window: {result.recovery_seconds:.2f}s from first "
+          f"fault to last retry event")
+    assert not result.sanitizer_findings, "sanitizer must stay clean"
+    print("sanitizer: clean under injected faults")
+
+
+if __name__ == "__main__":
+    main()

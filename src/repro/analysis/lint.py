@@ -35,7 +35,9 @@ from repro.netlogger.events import TAG_PREFIXES, declared_tags
 
 #: packages (path components under ``repro/``) that run in simulated
 #: time only and must not touch wall clocks or real threads
-SIM_ONLY_PACKAGES = ("simcore", "netsim", "dpss", "backend", "viewer")
+SIM_ONLY_PACKAGES = (
+    "simcore", "netsim", "dpss", "backend", "viewer", "faults"
+)
 
 #: ``time``-module attributes that read or burn wall-clock
 WALL_CLOCK_ATTRS = frozenset(

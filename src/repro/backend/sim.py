@@ -19,8 +19,24 @@ may run up to k-1 frames ahead of the render loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
+from repro.config import (
+    _UNSET,
+    BACKEND_LEGACY_FIELDS,
+    BackendConfig,
+    NetworkConfig,
+    warn_deprecated_kwarg,
+)
 from repro.dpss.client import DpssClient
 from repro.netlogger.events import Tags
 from repro.netlogger.logger import NetLogger
@@ -52,6 +68,12 @@ class BackEndTiming:
     bytes_sent_to_viewer: float = 0.0
     per_pe_load_seconds: Dict[int, float] = field(default_factory=dict)
     per_pe_render_seconds: Dict[int, float] = field(default_factory=dict)
+    #: frames where at least one PE's load gave up on some bytes
+    degraded_frames: Set[int] = field(default_factory=set)
+    #: DPSS read attempts beyond the first, across all PEs
+    retries: int = 0
+    #: hedged duplicate reads issued, across all PEs
+    hedges: int = 0
 
     @property
     def load_throughput(self) -> float:
@@ -80,35 +102,67 @@ class SimBackEnd:
         *,
         daemon: "NetLogDaemon",
         render_cost: Optional[RenderCostModel] = None,
-        n_timesteps: Optional[int] = None,
-        overlapped: bool = False,
-        #: frames the reader stage may run ahead of the render loop,
-        #: plus the one being rendered. 2 = Appendix B's double
-        #: buffer; deeper values prefetch further.
-        overlap_depth: int = 2,
-        #: Appendix B's rejected alternative: "even-numbered processes
-        #: would render, while odd-numbered processes would read data"
-        #: -- half the PEs become readers and the raw slab data must be
-        #: transmitted between processes.
-        mpi_only_overlap: bool = False,
-        interconnect_rate: float = 100e6,
-        axis: int = 0,
-        overlap_render_share: float = 1.0,
-        overlap_ingest_factor: float = 1.0,
-        load_jitter_cv: float = 0.0,
-        #: AMR grid line geometry shipped with rank 0's heavy payload:
-        #: "typically tens of kilobytes for the AMR grid data per
-        #: timestep" (Table 1). None scales with the dataset (capped
-        #: at 30 KB for paper-sized timesteps).
-        geometry_bytes_per_frame: Optional[float] = None,
-        tcp_params: Optional[TcpParams] = None,
-        seed: int = 0,
+        #: all run-mode knobs live here; see
+        #: :class:`~repro.config.BackendConfig` for field semantics
+        config: Optional[BackendConfig] = None,
+        # -- deprecated knob-per-kwarg spelling (one release of grace) --
+        n_timesteps: Optional[int] = _UNSET,
+        overlapped: bool = _UNSET,
+        overlap_depth: int = _UNSET,
+        mpi_only_overlap: bool = _UNSET,
+        interconnect_rate: float = _UNSET,
+        axis: int = _UNSET,
+        overlap_render_share: float = _UNSET,
+        overlap_ingest_factor: float = _UNSET,
+        load_jitter_cv: float = _UNSET,
+        geometry_bytes_per_frame: Optional[float] = _UNSET,
+        tcp_params: Optional[TcpParams] = _UNSET,
+        seed: int = _UNSET,
     ):
+        legacy = {
+            name: value
+            for name, value in (
+                ("n_timesteps", n_timesteps),
+                ("overlapped", overlapped),
+                ("overlap_depth", overlap_depth),
+                ("mpi_only_overlap", mpi_only_overlap),
+                ("interconnect_rate", interconnect_rate),
+                ("axis", axis),
+                ("overlap_render_share", overlap_render_share),
+                ("overlap_ingest_factor", overlap_ingest_factor),
+                ("load_jitter_cv", load_jitter_cv),
+                ("geometry_bytes_per_frame", geometry_bytes_per_frame),
+                ("tcp_params", tcp_params),
+                ("seed", seed),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise ValueError(
+                    "pass either config= or the deprecated per-knob "
+                    "kwargs, not both"
+                )
+            for name in legacy:
+                target = (
+                    "config=BackendConfig(network=NetworkConfig(tcp=...))"
+                    if name == "tcp_params"
+                    else f"config=BackendConfig({name}=...)"
+                )
+                warn_deprecated_kwarg("SimBackEnd", name, target)
+            tcp = legacy.pop("tcp_params", None)
+            network_config = NetworkConfig(
+                tcp=tcp if tcp is not None else TcpParams()
+            )
+            assert set(legacy) <= set(BACKEND_LEGACY_FIELDS)
+            config = BackendConfig(network=network_config, **legacy)
+        self.config = config if config is not None else BackendConfig()
+
         if not pe_hosts:
             raise ValueError("need at least one PE")
-        if not 0 < overlap_render_share <= 1.0:
+        if not 0 < self.config.overlap_render_share <= 1.0:
             raise ValueError("overlap_render_share must be in (0, 1]")
-        if not 0 < overlap_ingest_factor <= 1.0:
+        if not 0 < self.config.overlap_ingest_factor <= 1.0:
             raise ValueError("overlap_ingest_factor must be in (0, 1]")
         self.network = network
         self.pe_hosts = list(pe_hosts)
@@ -121,22 +175,25 @@ class SimBackEnd:
             render_cost if render_cost is not None else RenderCostModel()
         )
         self.n_timesteps = (
-            n_timesteps if n_timesteps is not None else meta.n_timesteps
+            self.config.n_timesteps
+            if self.config.n_timesteps is not None
+            else meta.n_timesteps
         )
         if not 1 <= self.n_timesteps <= meta.n_timesteps:
             raise ValueError(
                 f"n_timesteps {self.n_timesteps} outside "
                 f"[1, {meta.n_timesteps}]"
             )
-        self.overlapped = overlapped
+        self.overlapped = self.config.overlapped
+        overlap_depth = self.config.overlap_depth
         if int(overlap_depth) != overlap_depth or overlap_depth < 2:
             raise ValueError(
                 f"overlap_depth must be an integer >= 2, got {overlap_depth}"
             )
         self.overlap_depth = int(overlap_depth)
-        self.mpi_only_overlap = mpi_only_overlap
-        if mpi_only_overlap:
-            if overlapped:
+        self.mpi_only_overlap = self.config.mpi_only_overlap
+        if self.mpi_only_overlap:
+            if self.overlapped:
                 raise ValueError(
                     "mpi_only_overlap and overlapped are exclusive modes"
                 )
@@ -144,27 +201,27 @@ class SimBackEnd:
                 raise ValueError(
                     "mpi_only_overlap pairs ranks; need an even PE count"
                 )
-        if interconnect_rate <= 0:
+        if self.config.interconnect_rate <= 0:
             raise ValueError("interconnect_rate must be > 0")
-        self.interconnect_rate = float(interconnect_rate)
-        self.overlap_render_share = overlap_render_share
-        self.overlap_ingest_factor = overlap_ingest_factor
-        self.load_jitter_cv = load_jitter_cv
-        if geometry_bytes_per_frame is None:
-            geometry_bytes_per_frame = min(
-                30e3, 0.02 * meta.bytes_per_timestep
-            )
-        if geometry_bytes_per_frame < 0:
+        self.interconnect_rate = float(self.config.interconnect_rate)
+        self.overlap_render_share = self.config.overlap_render_share
+        self.overlap_ingest_factor = self.config.overlap_ingest_factor
+        self.load_jitter_cv = self.config.load_jitter_cv
+        geometry_bytes = self.config.geometry_bytes_per_frame
+        if geometry_bytes is None:
+            geometry_bytes = min(30e3, 0.02 * meta.bytes_per_timestep)
+        if geometry_bytes < 0:
             raise ValueError("geometry_bytes_per_frame must be >= 0")
-        self.geometry_bytes_per_frame = float(geometry_bytes_per_frame)
-        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
-        self.seed = seed
+        self.geometry_bytes_per_frame = float(geometry_bytes)
+        self.tcp_params = self.config.network.tcp
+        self.seed = self.config.seed
+        axis = self.config.axis
 
         self.n_pes = len(self.pe_hosts)
         # MPI-only overlap halves the render parallelism: odd ranks
         # only read, so the volume is cut into n/2 slabs.
         self.n_render_pes = (
-            self.n_pes // 2 if mpi_only_overlap else self.n_pes
+            self.n_pes // 2 if self.mpi_only_overlap else self.n_pes
         )
         self.subvolumes = slab_decompose(
             meta.shape, self.n_render_pes, axis=axis
@@ -175,8 +232,15 @@ class SimBackEnd:
         )
         #: per-rank staged-pipeline accounting (overlapped modes only)
         self.pipeline_summaries: Dict[int, PipelineSummary] = {}
+        #: (rank, frame) -> fraction of the slab's bytes that never
+        #: arrived (policy give-up under injected faults)
+        self._degraded: Dict[Tuple[int, int], float] = {}
         self._itemsize = meta.bytes_per_timestep / meta.n_voxels
-        self._rngs = spawn_rngs(seed, self.n_pes)
+        # Streams [0, n_pes) drive load/render jitter exactly as they
+        # always have; [n_pes, 2*n_pes) are reserved for the DPSS
+        # clients' backoff jitter. SeedSequence spawning guarantees the
+        # first n_pes children are unchanged by the wider spawn.
+        self._rngs = spawn_rngs(self.seed, 2 * self.n_pes)
         self._barrier = SimBarrier(network.env, self.n_render_pes)
         self._loggers = [
             NetLogger(
@@ -271,7 +335,9 @@ class SimBackEnd:
             self.network,
             self.pe_hosts[rank].name,
             self.master,
-            tcp_params=self.tcp_params,
+            config=self.config.network,
+            logger=self._loggers[rank],
+            rng=self._rngs[self.n_pes + rank],
         )
         open_ev = client.open(self.dataset_name)
         return client, open_ev
@@ -293,10 +359,25 @@ class SimBackEnd:
             label=f"load[{rank}]",
         )
         log.log(Tags.BE_LOAD_END, frame=frame, rank=rank)
-        self.timing.bytes_loaded += stats.nbytes
+        self.timing.bytes_loaded += stats.nbytes - stats.missing_bytes
         self.timing.per_pe_load_seconds[rank] = (
             self.timing.per_pe_load_seconds.get(rank, 0.0) + stats.duration
         )
+        self.timing.retries += stats.retries
+        self.timing.hedges += stats.hedges
+        if stats.missing_bytes > 0:
+            # The policy gave up on part of this slab: the PE proceeds
+            # with whatever it has (stale or absent texture downstream).
+            self.timing.degraded_frames.add(frame)
+            self._degraded[(rank, frame)] = (
+                stats.missing_bytes / stats.nbytes
+            )
+            log.log(
+                Tags.BE_LOAD_DEGRADED,
+                frame=frame,
+                rank=rank,
+                missing=round(stats.missing_bytes),
+            )
         return stats
 
     def _render(self, rank: int, frame: int, log: NetLogger):
@@ -323,6 +404,14 @@ class SimBackEnd:
         log.log(Tags.BE_LIGHT_SEND, frame=frame, rank=rank)
         yield self.viewer.deliver_light(rank, frame)
         log.log(Tags.BE_LIGHT_END, frame=frame, rank=rank)
+        if self._degraded.get((rank, frame), 0.0) >= 1.0:
+            # The whole slab was lost to faults: nothing to texture.
+            # Skip the heavy payload; the viewer records the hole and
+            # the compositor renders the remaining slabs.
+            log.log(Tags.BE_HEAVY_SKIP, frame=frame, rank=rank)
+            yield self.viewer.deliver_absent(rank, frame)
+            self.timing.bytes_sent_to_viewer += self.viewer.light_bytes
+            return
         log.log(Tags.BE_HEAVY_SEND, frame=frame, rank=rank)
         nbytes = self.texture_bytes(rank)
         if rank == 0:

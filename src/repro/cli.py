@@ -5,6 +5,7 @@ Installed as the ``visapult`` console script::
     visapult list
     visapult campaign lan_e4500 --overlapped --nlv
     visapult campaign lan_e4500 --scaled --sanitize
+    visapult campaign --faults examples/plans/sc99_flaky.json --sanitize
     visapult lint
     visapult iperf --wan esnet --streams 8
     visapult artifacts --angles 0 16 45
@@ -15,60 +16,56 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro._version import __version__
 
-#: campaign name -> factory accepting (overlapped: bool) where sensible
-_CAMPAIGNS: Dict[str, Callable] = {}
-
-
-def _register_campaigns() -> None:
-    from repro.core import CampaignConfig
-
-    _CAMPAIGNS.update(
-        {
-            "lan_e4500": lambda ov: CampaignConfig.lan_e4500(overlapped=ov),
-            "nton_cplant4": lambda ov: CampaignConfig.nton_cplant(
-                n_pes=4, overlapped=ov
-            ),
-            "nton_cplant8": lambda ov: CampaignConfig.nton_cplant(
-                n_pes=8, overlapped=ov, viewer_remote=True
-            ),
-            "esnet_anl": lambda ov: CampaignConfig.esnet_anl_smp(
-                overlapped=ov
-            ),
-            "sc99_cosmology": lambda ov: CampaignConfig.sc99_cosmology(),
-            "sc99_showfloor": lambda ov: CampaignConfig.sc99_showfloor(),
-        }
-    )
-
 
 def cmd_list(_args) -> int:
-    _register_campaigns()
+    from repro.core import campaign_names
+
     print("available campaigns:")
-    for name in sorted(_CAMPAIGNS):
+    for name in campaign_names():
         print(f"  {name}")
     return 0
 
 
 def cmd_campaign(args) -> int:
+    from repro.config import ExperimentConfig
     from repro.core import run_campaign
     from repro.netlogger import lifeline_plot
 
-    _register_campaigns()
-    if args.name not in _CAMPAIGNS:
-        print(f"unknown campaign {args.name!r}; try 'visapult list'",
-              file=sys.stderr)
+    # A fault drill file can carry the whole experiment (campaign,
+    # scale, seed, policy); explicit CLI flags win over the drill.
+    drill = None
+    if args.faults is not None:
+        from repro.faults import load_drill
+
+        drill = load_drill(args.faults)
+    name = args.name or (drill.campaign if drill is not None else None)
+    if name is None:
+        print("no campaign named (positionally or in the drill file); "
+              "try 'visapult list'", file=sys.stderr)
         return 2
-    config = _CAMPAIGNS[args.name](args.overlapped)
-    if args.frames is not None:
-        config = config.with_changes(n_timesteps=args.frames)
-    if args.scaled:
-        config = config.with_changes(
-            shape=(160, 64, 64), dataset_timesteps=max(config.n_timesteps, 8)
-        )
-    result = run_campaign(config, sanitize=args.sanitize)
+    experiment = ExperimentConfig(
+        campaign=name,
+        overlapped=args.overlapped
+        or (drill is not None and drill.overlapped),
+        frames=args.frames,
+        scaled=args.scaled or (drill is not None and drill.scaled),
+        seed=args.seed
+        if args.seed is not None
+        else (drill.seed if drill is not None else None),
+        sanitize=args.sanitize,
+        faults=drill.plan if drill is not None else None,
+        policy=drill.policy if drill is not None else None,
+    )
+    try:
+        config = experiment.to_campaign_config()
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try 'visapult list'", file=sys.stderr)
+        return 2
+    result = run_campaign(config, sanitize=args.sanitize, ulm_path=args.ulm)
     print(result.summary())
     if args.nlv:
         print()
@@ -204,11 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("campaign", help="run a simulated campaign")
-    p.add_argument("name")
+    p.add_argument("name", nargs="?", default=None,
+                   help="campaign name (may come from the drill file)")
     p.add_argument("--overlapped", action="store_true")
     p.add_argument("--frames", type=int, default=None)
     p.add_argument("--scaled", action="store_true",
                    help="shrink the dataset for a fast demo")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the campaign's random seed")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject faults from a plan/drill JSON file")
+    p.add_argument("--ulm", default=None, metavar="PATH",
+                   help="write the run's ULM event log to this file")
     p.add_argument("--nlv", action="store_true",
                    help="print the NLV lifeline plot")
     p.add_argument("--width", type=int, default=100)

@@ -1,0 +1,192 @@
+"""Consolidated configuration: one frozen dataclass per layer.
+
+Historically every knob rode in as its own keyword argument --
+``tcp_params`` here, ``compression`` there, nine overlap knobs on the
+back end. This module gathers them:
+
+- :class:`NetworkConfig` -- how an endpoint uses the wire (TCP
+  parameters, optional compression, optional request policy);
+- :class:`BackendConfig` -- how the parallel back end runs (overlap
+  mode and its tuning, jitter, seed) plus its network config;
+- :class:`ExperimentConfig` -- one runnable experiment (a named
+  campaign plus overrides), JSON round-trippable so a drill or a CI
+  matrix can be a file.
+
+The old keyword arguments still work but raise
+:class:`DeprecationWarning`; they will be removed after one release.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RequestPolicy
+from repro.netsim.tcp import TcpParams
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.dpss
+    from repro.dpss.compression import CompressionModel
+
+#: Sentinel distinguishing "not passed" from "passed None" in
+#: deprecated keyword arguments.
+_UNSET: Any = object()
+
+
+def warn_deprecated_kwarg(owner: str, old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy kwarg."""
+    warnings.warn(
+        f"{owner}({old}=...) is deprecated; pass {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """How one endpoint drives its connections.
+
+    ``policy`` enables client-side fault tolerance (timeouts, retries,
+    hedged reads) on DPSS reads; ``None`` keeps the historical
+    fail-fast behaviour, bit-identical to before the policy existed.
+    """
+
+    tcp: TcpParams = field(default_factory=TcpParams)
+    compression: Optional[CompressionModel] = None
+    policy: Optional[RequestPolicy] = None
+
+    def with_changes(self, **changes: Any) -> "NetworkConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """The parallel back end's run mode and tuning.
+
+    Field semantics match the historical ``SimBackEnd`` keyword
+    arguments one-for-one; see that class for the paper context.
+    """
+
+    overlapped: bool = False
+    overlap_depth: int = 2
+    mpi_only_overlap: bool = False
+    interconnect_rate: float = 100e6
+    axis: int = 0
+    overlap_render_share: float = 1.0
+    overlap_ingest_factor: float = 1.0
+    load_jitter_cv: float = 0.0
+    geometry_bytes_per_frame: Optional[float] = None
+    seed: int = 0
+    n_timesteps: Optional[int] = None
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    def with_changes(self, **changes: Any) -> "BackendConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: BackendConfig field names that used to be SimBackEnd kwargs.
+BACKEND_LEGACY_FIELDS = tuple(
+    f.name for f in fields(BackendConfig) if f.name != "network"
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One runnable experiment: a named campaign plus overrides.
+
+    This is the JSON-facing configuration the CLI and
+    :func:`repro.api.run_experiment` consume::
+
+        {
+          "campaign": "sc99_showfloor",
+          "scaled": true,
+          "seed": 7,
+          "sanitize": true,
+          "policy": "aggressive",
+          "faults": {"events": [...]}
+        }
+    """
+
+    campaign: str
+    overlapped: bool = False
+    frames: Optional[int] = None
+    scaled: bool = False
+    seed: Optional[int] = None
+    sanitize: bool = False
+    faults: Optional[FaultPlan] = None
+    policy: Optional[RequestPolicy] = None
+
+    def with_changes(self, **changes: Any) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- JSON ----------------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        """Parse an experiment from its JSON object form."""
+        from repro.faults import policy_from_spec
+
+        data = json.loads(text)
+        if not isinstance(data, dict) or "campaign" not in data:
+            raise ValueError(
+                "experiment JSON must be an object with a 'campaign' key"
+            )
+        faults = data.get("faults")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            faults = FaultPlan.from_json(json.dumps(faults))
+        return cls(
+            campaign=data["campaign"],
+            overlapped=bool(data.get("overlapped", False)),
+            frames=data.get("frames"),
+            scaled=bool(data.get("scaled", False)),
+            seed=data.get("seed"),
+            sanitize=bool(data.get("sanitize", False)),
+            faults=faults,
+            policy=policy_from_spec(data.get("policy")),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "ExperimentConfig":
+        """Load an experiment from a JSON file."""
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise to the JSON object form ``from_json`` accepts."""
+        out: Dict[str, Any] = {
+            "campaign": self.campaign,
+            "overlapped": self.overlapped,
+            "frames": self.frames,
+            "scaled": self.scaled,
+            "seed": self.seed,
+            "sanitize": self.sanitize,
+        }
+        if self.faults is not None:
+            out["faults"] = json.loads(self.faults.to_json())
+        if self.policy is not None:
+            out["policy"] = asdict(self.policy)
+        return json.dumps(out, indent=indent)
+
+    def to_campaign_config(self):
+        """Resolve to a concrete :class:`~repro.core.campaign.CampaignConfig`."""
+        from repro.core.campaign import named_campaign
+
+        config = named_campaign(self.campaign, overlapped=self.overlapped)
+        changes: Dict[str, Any] = {}
+        frames = self.frames if self.frames is not None else config.n_timesteps
+        if self.frames is not None:
+            changes["n_timesteps"] = self.frames
+        if self.scaled:
+            changes["shape"] = (160, 64, 64)
+            changes["dataset_timesteps"] = max(frames, 8)
+        if self.seed is not None:
+            changes["seed"] = self.seed
+        if self.faults is not None:
+            changes["faults"] = self.faults
+        if self.policy is not None:
+            changes["policy"] = self.policy
+        return config.with_changes(**changes) if changes else config

@@ -25,7 +25,13 @@ from repro.core.model import (
     transfer_time,
 )
 from repro.core.platforms import PlatformSpec, Platforms, WanSpec, Wans
-from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.campaign import (
+    CampaignConfig,
+    build_session,
+    campaign_names,
+    named_campaign,
+    run_campaign,
+)
 from repro.core.sweep import DEFAULT_METRICS, SweepResult, sweep
 from repro.core.report import CampaignResult
 
@@ -40,6 +46,9 @@ __all__ = [
     "WanSpec",
     "Wans",
     "CampaignConfig",
+    "build_session",
+    "campaign_names",
+    "named_campaign",
     "run_campaign",
     "CampaignResult",
     "DEFAULT_METRICS",

@@ -10,9 +10,10 @@ frame loop, and returns a :class:`~repro.core.report.CampaignResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backend.sim import SimBackEnd
+from repro.config import BackendConfig, NetworkConfig
 from repro.core.platforms import (
     DPSS_DISK_RATE,
     DPSS_DISKS_PER_SERVER,
@@ -28,6 +29,9 @@ from repro.datagen.timeseries import TimeSeriesMeta
 from repro.dpss.blocks import DpssDataset
 from repro.dpss.master import DpssMaster
 from repro.dpss.server import DpssServer
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RequestPolicy
 from repro.netlogger.daemon import NetLogDaemon
 from repro.netsim.host import Host
 from repro.netsim.link import Link
@@ -66,6 +70,12 @@ class CampaignConfig:
     #: WAN between back end and a remote viewer (defaults to ``wan``)
     viewer_wan: Optional[WanSpec] = None
     seed: int = 1
+    #: fault schedule replayed against the session; a non-empty plan
+    #: also enables dataset replication (replicas=2) and installs the
+    #: default request policy unless ``policy`` overrides it
+    faults: Optional[FaultPlan] = None
+    #: client-side timeout/retry/hedging policy for DPSS reads
+    policy: Optional[RequestPolicy] = None
 
     def __post_init__(self):
         if self.n_pes < 1:
@@ -175,6 +185,42 @@ class CampaignConfig:
         return replace(self, **kw)
 
 
+#: The runnable campaign registry: name -> factory(overlapped).
+_NAMED_CAMPAIGNS: Dict[str, Callable[[bool], CampaignConfig]] = {
+    "lan_e4500": lambda ov: CampaignConfig.lan_e4500(overlapped=ov),
+    "nton_cplant4": lambda ov: CampaignConfig.nton_cplant(
+        n_pes=4, overlapped=ov
+    ),
+    "nton_cplant8": lambda ov: CampaignConfig.nton_cplant(
+        n_pes=8, overlapped=ov, viewer_remote=True
+    ),
+    "esnet_anl": lambda ov: CampaignConfig.esnet_anl_smp(overlapped=ov),
+    "sc99_cosmology": lambda ov: CampaignConfig.sc99_cosmology(),
+    "sc99_showfloor": lambda ov: CampaignConfig.sc99_showfloor(),
+}
+
+
+def campaign_names() -> List[str]:
+    """Names accepted by :func:`named_campaign`, sorted."""
+    return sorted(_NAMED_CAMPAIGNS)
+
+
+def named_campaign(name: str, *, overlapped: bool = False) -> CampaignConfig:
+    """Resolve a campaign by its registry name.
+
+    Raises :class:`KeyError` for unknown names; ``overlapped`` is
+    ignored by campaigns that do not support the distinction
+    (the SC99 demos).
+    """
+    try:
+        factory = _NAMED_CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; known: {', '.join(campaign_names())}"
+        ) from None
+    return factory(overlapped)
+
+
 def build_session(config: CampaignConfig):
     """Construct the simulated world for a campaign.
 
@@ -270,17 +316,25 @@ def build_session(config: CampaignConfig):
     net.add_route("dpss-master", "viewer", [dpss_lan, wan])
 
     # --- dataset ---------------------------------------------------------
+    # A non-empty fault plan turns on dataset replication so failovers
+    # and hedged reads have somewhere to go; an empty (or absent) plan
+    # keeps the historical single-copy placement bit-for-bit.
+    active_faults = config.faults if config.faults else None
     meta = config.meta
     master.register_dataset(
         DpssDataset(name=meta.name, size=float(meta.total_bytes),
-                    block_size=64 * KIB)
+                    block_size=64 * KIB),
+        replicas=2 if active_faults is not None else 1,
     )
 
     # --- endpoints ---------------------------------------------------------
     tcp = TcpParams(max_window=config.wan.tcp_window)
+    policy = config.policy
+    if policy is None and active_faults is not None:
+        policy = RequestPolicy()
     viewer = SimViewer(
         net, "viewer", daemon=daemon,
-        tcp_params=TcpParams(max_window=1024 * KIB),
+        config=NetworkConfig(tcp=TcpParams(max_window=1024 * KIB)),
     )
     backend = SimBackEnd(
         net,
@@ -291,33 +345,50 @@ def build_session(config: CampaignConfig):
         meta,
         daemon=daemon,
         render_cost=plat.render_cost_model(),
-        n_timesteps=config.n_timesteps,
-        overlapped=config.overlapped,
-        overlap_depth=config.overlap_depth,
-        mpi_only_overlap=config.mpi_only_overlap,
-        overlap_render_share=(
-            plat.overlap_render_share if config.overlapped else 1.0
+        config=BackendConfig(
+            n_timesteps=config.n_timesteps,
+            overlapped=config.overlapped,
+            overlap_depth=config.overlap_depth,
+            mpi_only_overlap=config.mpi_only_overlap,
+            overlap_render_share=(
+                plat.overlap_render_share if config.overlapped else 1.0
+            ),
+            overlap_ingest_factor=(
+                plat.overlap_ingest_factor if config.overlapped else 1.0
+            ),
+            load_jitter_cv=(
+                plat.overlap_jitter_cv if config.overlapped else 0.0
+            ),
+            seed=config.seed,
+            network=NetworkConfig(tcp=tcp, policy=policy),
         ),
-        overlap_ingest_factor=(
-            plat.overlap_ingest_factor if config.overlapped else 1.0
-        ),
-        load_jitter_cv=(
-            plat.overlap_jitter_cv if config.overlapped else 0.0
-        ),
-        tcp_params=tcp,
-        seed=config.seed,
     )
+
+    # --- faults ----------------------------------------------------------
+    if active_faults is not None:
+        aliases = {"wan": config.wan.name}
+        if config.viewer_remote:
+            vspec = config.viewer_wan or config.wan
+            aliases["viewer-wan"] = f"viewer-{vspec.name}"
+        injector = FaultInjector(
+            net, master, active_faults, daemon=daemon, link_aliases=aliases
+        )
+        injector.start()
+        net.fault_injector = injector
     return net, backend, viewer, daemon
 
 
 def run_campaign(
-    config: CampaignConfig, *, sanitize: bool = False
+    config: CampaignConfig, *, sanitize: bool = False,
+    ulm_path: Optional[str] = None,
 ) -> CampaignResult:
     """Build and run a campaign to completion; reduce the results.
 
     With ``sanitize=True`` the concurrency sanitizer observes the run
     (identical sim timings -- it only watches) and its findings land
     in ``result.sanitizer_findings`` plus ``SAN_*`` daemon events.
+    ``ulm_path`` writes the daemon's time-sorted ULM event stream to a
+    file after the run (before any ``SAN_*`` events are reduced in).
     """
     net, backend, viewer, daemon = build_session(config)
     sanitizer = None
@@ -336,6 +407,8 @@ def run_campaign(
         )
     done = backend.run()
     net.run(until=done)
+    if ulm_path is not None:
+        daemon.write_ulm(ulm_path)
     result = CampaignResult.from_run(config, net, backend, viewer, daemon)
     if sanitizer is not None:
         # Reduce results first so event_log matches the unsanitized

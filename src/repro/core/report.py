@@ -49,6 +49,16 @@ class CampaignResult:
     #: concurrency-sanitizer findings when the campaign ran with
     #: ``sanitize=True`` (empty for clean or unsanitized runs)
     sanitizer_findings: list = field(default_factory=list, repr=False)
+    #: frames at least one PE completed with stale/absent data because
+    #: a DPSS read came up short under injected faults
+    degraded_frames: int = 0
+    #: DPSS read attempts beyond the first, summed across PEs
+    retries: int = 0
+    #: hedged duplicate reads issued to replicas
+    hedges: int = 0
+    #: span from the first injected fault to the last FAULT_*/RETRY_*
+    #: event -- how long the run spent reacting to the fault schedule
+    recovery_seconds: float = 0.0
 
     @classmethod
     def from_run(
@@ -88,6 +98,15 @@ class CampaignResult:
         if wan_link is not None:
             wan_series = wan_link.resource.utilization_timeseries()
 
+        inject_ts = [
+            e.ts for e in log.events if e.event == "FAULT_INJECT"
+        ]
+        fault_ts = [
+            e.ts for e in log.events
+            if e.event.startswith(("FAULT_", "RETRY_"))
+        ]
+        recovery = max(fault_ts) - min(inject_ts) if inject_ts else 0.0
+
         return cls(
             config=config,
             total_time=backend.timing.total_time,
@@ -107,6 +126,10 @@ class CampaignResult:
             per_frame_load=per_frame_load,
             per_frame_render=per_frame_render,
             wan_utilization_series=wan_series,
+            degraded_frames=len(backend.timing.degraded_frames),
+            retries=backend.timing.retries,
+            hedges=backend.timing.hedges,
+            recovery_seconds=recovery,
         )
 
     # -- derived -----------------------------------------------------------
@@ -155,4 +178,10 @@ class CampaignResult:
             f"  viewer frames     : {self.viewer_frames_complete}"
             f"/{self.n_frames} complete",
         ]
+        if getattr(cfg, "faults", None) is not None:
+            lines.append(
+                f"  faults            : {self.degraded_frames} degraded"
+                f" frame(s), {self.retries} retries, {self.hedges} hedges,"
+                f" recovery {fmt_seconds(self.recovery_seconds)}"
+            )
         return "\n".join(lines)

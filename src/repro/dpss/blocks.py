@@ -33,23 +33,51 @@ class BlockMap:
     Blocks are striped round-robin over the server list, the DPSS's
     load-balancing policy for sequential reads: every server
     contributes equally to any large contiguous range.
+
+    With ``replicas > 1`` each block additionally lives on the next
+    ``replicas - 1`` servers in stripe order, so losing any single
+    server leaves every block reachable -- the redundancy the paper's
+    DPSS lacked ("the DPSS stripes without replication") and fault
+    drills lean on.
     """
 
-    def __init__(self, dataset: DpssDataset, server_names: List[str]):
+    def __init__(
+        self,
+        dataset: DpssDataset,
+        server_names: List[str],
+        *,
+        replicas: int = 1,
+    ):
         if not server_names:
             raise ValueError("dataset must be striped over >= 1 server")
         if len(set(server_names)) != len(server_names):
             raise ValueError("duplicate server names in stripe set")
+        if not 1 <= replicas <= len(server_names):
+            raise ValueError(
+                f"replicas must be in [1, {len(server_names)}], got {replicas}"
+            )
         self.dataset = dataset
         self.server_names = list(server_names)
+        self.replicas = int(replicas)
 
     def server_of_block(self, block: int) -> str:
-        """The server holding a logical block."""
+        """The primary server holding a logical block."""
         if not 0 <= block < self.dataset.n_blocks:
             raise IndexError(
                 f"block {block} outside [0, {self.dataset.n_blocks})"
             )
         return self.server_names[block % len(self.server_names)]
+
+    def replica_servers(self, block: int) -> List[str]:
+        """All servers holding a logical block, primary first."""
+        if not 0 <= block < self.dataset.n_blocks:
+            raise IndexError(
+                f"block {block} outside [0, {self.dataset.n_blocks})"
+            )
+        n = len(self.server_names)
+        return [
+            self.server_names[(block + j) % n] for j in range(self.replicas)
+        ]
 
     def blocks_for_range(self, offset: float, nbytes: float) -> range:
         """Logical blocks overlapping ``[offset, offset + nbytes)``."""

@@ -9,22 +9,37 @@ the speed of the server" (section 3.5) -- and a read fans out over all
 servers holding blocks of the requested range. The per-server client
 threads are expressed as staged-pipeline reader stages merging into
 one reassembly stage (:mod:`repro.simcore.pipeline`).
+
+With a :class:`~repro.faults.policy.RequestPolicy` configured
+(``NetworkConfig.policy``), each per-server read additionally gets
+timeouts, bounded retries with exponential backoff, failover to
+replica holders, and optional hedged duplicate reads -- the machinery
+that lets a session ride out the injected faults of
+:mod:`repro.faults`. Without a policy the historical fail-fast
+behaviour is preserved bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.config import NetworkConfig, _UNSET, warn_deprecated_kwarg
 from repro.dpss.blocks import BlockMap
 from repro.dpss.compression import CompressionModel
-from repro.netsim.tcp import TcpConnection, TcpParams
-from repro.simcore.events import Event
+from repro.faults.policy import ReadTimeout, RequestPolicy
+from repro.netlogger.events import Tags
+from repro.netlogger.logger import NetLogger
+from repro.netsim.tcp import TcpConnection, TcpParams, TransferStats
+from repro.simcore.events import Event, Interrupt
 from repro.simcore.pipeline import Pipeline
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dpss.master import DpssMaster
+    from repro.dpss.server import DpssServer
     from repro.netsim.topology import Network
 
 
@@ -45,6 +60,14 @@ class ReadStats:
     wire_bytes: float = 0.0
     #: client CPU time spent inflating compressed blocks
     decompress_seconds: float = 0.0
+    #: attempts beyond the first, across all per-server reads
+    retries: int = 0
+    #: hedged duplicate reads issued to replica servers
+    hedges: int = 0
+    #: servers whose share was abandoned after exhausting the policy
+    failed_servers: List[str] = field(default_factory=list)
+    #: bytes the read gave up on (0 for a complete read)
+    missing_bytes: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -54,6 +77,11 @@ class ReadStats:
     def throughput(self) -> float:
         """Aggregate goodput in bytes/second."""
         return self.nbytes / self.duration if self.duration > 0 else float("inf")
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested byte arrived."""
+        return self.missing_bytes <= 0.0
 
 
 @dataclass
@@ -70,7 +98,13 @@ class DpssHandle:
 
 
 class DpssClient:
-    """A client endpoint bound to one host and one master."""
+    """A client endpoint bound to one host and one master.
+
+    ``config`` gathers the wire-level knobs
+    (:class:`~repro.config.NetworkConfig`); ``logger`` receives
+    ``RETRY_*`` events when a policy is active; ``rng`` drives backoff
+    jitter (no generator = no jitter, still deterministic).
+    """
 
     def __init__(
         self,
@@ -78,28 +112,119 @@ class DpssClient:
         host_name: str,
         master: "DpssMaster",
         *,
-        tcp_params: Optional[TcpParams] = None,
-        compression: Optional[CompressionModel] = None,
+        config: Optional[NetworkConfig] = None,
+        logger: Optional[NetLogger] = None,
+        rng: Optional[np.random.Generator] = None,
+        tcp_params: Optional[TcpParams] = _UNSET,
+        compression: Optional[CompressionModel] = _UNSET,
     ):
+        if tcp_params is not _UNSET or compression is not _UNSET:
+            if config is not None:
+                raise ValueError(
+                    "pass either config= or the deprecated "
+                    "tcp_params=/compression= kwargs, not both"
+                )
+            if tcp_params is not _UNSET:
+                warn_deprecated_kwarg(
+                    "DpssClient", "tcp_params", "config=NetworkConfig(tcp=...)"
+                )
+            if compression is not _UNSET:
+                warn_deprecated_kwarg(
+                    "DpssClient",
+                    "compression",
+                    "config=NetworkConfig(compression=...)",
+                )
+            config = NetworkConfig(
+                tcp=(
+                    tcp_params
+                    if tcp_params not in (_UNSET, None)
+                    else TcpParams()
+                ),
+                compression=(
+                    compression if compression is not _UNSET else None
+                ),
+            )
         self.network = network
         self.host_name = host_name
         self.master = master
-        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
-        #: optional wire-level compression (section 5 future work)
-        self.compression = compression
-        self._server_conns: Dict[str, TcpConnection] = {}
+        self.config = config if config is not None else NetworkConfig()
+        self.logger = logger
+        self.rng = rng
+        self._server_conns: Dict[Tuple[str, str], TcpConnection] = {}
+        #: recovery connections (failover/hedge), leased per read
+        self._pools: Dict[str, List[TcpConnection]] = {}
+        self._leased: Set[TcpConnection] = set()
 
-    def _connection_to(self, server_name: str) -> TcpConnection:
-        if server_name not in self._server_conns:
+    # -- config accessors (legacy attribute names) ----------------------
+    @property
+    def tcp_params(self) -> TcpParams:
+        return self.config.tcp
+
+    @property
+    def compression(self) -> Optional[CompressionModel]:
+        return self.config.compression
+
+    @property
+    def policy(self) -> Optional[RequestPolicy]:
+        return self.config.policy
+
+    # -- connection table -----------------------------------------------
+    def _connection_to(
+        self, server_name: str, *, direction: str = "read"
+    ) -> TcpConnection:
+        """The persistent connection for one server and direction.
+
+        Reads flow server -> client, writes client -> server; both
+        share one table keyed ``(direction, server)`` and one stats
+        path, so cwnd state survives across calls either way.
+        """
+        key = (direction, server_name)
+        if key not in self._server_conns:
             server = self.master.servers[server_name]
-            self._server_conns[server_name] = TcpConnection(
+            src, dst = (
+                (server.host.name, self.host_name)
+                if direction == "read"
+                else (self.host_name, server.host.name)
+            )
+            self._server_conns[key] = TcpConnection(
                 self.network,
-                server.host.name,
-                self.host_name,
+                src,
+                dst,
                 self.tcp_params,
                 extra_usage={server.disks: 1.0},
             )
-        return self._server_conns[server_name]
+        return self._server_conns[key]
+
+    def _lease_connection(self, server_name: str) -> TcpConnection:
+        """A free read connection to a server, growing the pool as needed.
+
+        Policy-driven reads (retries, failover, hedges) can aim several
+        concurrent transfers at one server, so they lease from a pool
+        instead of sharing the single per-server stream.
+        """
+        pool = self._pools.setdefault(server_name, [])
+        for conn in pool:
+            if conn not in self._leased:
+                self._leased.add(conn)
+                return conn
+        server = self.master.servers[server_name]
+        conn = TcpConnection(
+            self.network,
+            server.host.name,
+            self.host_name,
+            self.tcp_params,
+            extra_usage={server.disks: 1.0},
+        )
+        pool.append(conn)
+        self._leased.add(conn)
+        return conn
+
+    def _release_connection(self, conn: TcpConnection) -> None:
+        self._leased.discard(conn)
+
+    def _log(self, tag: str, **data) -> None:
+        if self.logger is not None:
+            self.logger.log(tag, **data)
 
     # -- API (dpssOpen / dpssRead / dpssLSeek / dpssClose) --------------
     def open(self, dataset_name: str) -> Event:
@@ -109,8 +234,13 @@ class DpssClient:
     def _open_proc(self, dataset_name: str):
         env = self.network.env
         route = self.network.route(self.host_name, self.master.host.name)
-        # Request/response to the master plus its lookup handling time.
-        yield env.timeout(route.rtt + self.master.lookup_latency)
+        # Request/response to the master plus its lookup handling time;
+        # a stalled master holds the response until the stall clears.
+        yield env.timeout(
+            route.rtt
+            + self.master.lookup_latency
+            + self.master.stall_delay(env.now)
+        )
         block_map = self.master.lookup(dataset_name, self.host_name)
         return DpssHandle(block_map=block_map)
 
@@ -155,6 +285,11 @@ class DpssClient:
 
     def _read_proc(self, handle: DpssHandle, offset: float, nbytes: float,
                    label: str):
+        if self.policy is not None:
+            stats = yield from self._read_policy_proc(
+                handle, offset, nbytes, label
+            )
+            return stats
         env = self.network.env
         start = env.now
         block_map = handle.block_map
@@ -194,8 +329,9 @@ class DpssClient:
         def server_work(spec):
             conn, server, wire, disk_fraction = spec
             t0 = env.now
-            transfer = yield from self._server_read(
-                conn, server, wire, disk_fraction, label
+            transfer = yield from self._server_transfer(
+                conn, server, wire, disk_fraction, label,
+                lead=self._read_lead(server),
             )
             return (server.name, env.now - t0, transfer)
 
@@ -240,14 +376,282 @@ class DpssClient:
         stats.end = env.now
         return stats
 
-    def _server_read(self, conn: TcpConnection, server, n_bytes: float,
-                     disk_fraction: float, label: str):
+    # -- policy-driven reads --------------------------------------------
+    def _read_policy_proc(self, handle: DpssHandle, offset: float,
+                          nbytes: float, label: str):
+        """Fan-out read where each server share rides the policy."""
         env = self.network.env
-        # One batched block request: half an RTT for the request to
-        # arrive plus the server's request-handling overhead.
+        start = env.now
+        block_map = handle.block_map
+        dataset = block_map.dataset
+        # The master re-balances: offline servers' shares are planned
+        # onto online replica holders up front.
+        plan, per_server_blocks = self.master.plan_read(
+            block_map, offset, nbytes
+        )
+        stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
+
+        pipe = Pipeline(env, name=f"dpss-read:{label}")
+        chunks = pipe.buffer(
+            max(len(plan), 1) + 1, name="chunks", release="on_get"
+        )
+
+        def server_work(spec):
+            server_name, n_blocks, n_bytes, blocks = spec
+            t0 = env.now
+            transfer = yield from self._read_with_policy(
+                block_map, server_name, n_blocks, n_bytes, blocks,
+                stats, label,
+            )
+            return (server_name, env.now - t0, transfer)
+
+        for server_name, (n_blocks, n_bytes) in plan.items():
+            stats.total_blocks += n_blocks
+            stats.per_server_bytes[server_name] = n_bytes
+            pipe.stage(
+                f"read:{server_name}",
+                server_work,
+                source=[(
+                    server_name, n_blocks, n_bytes,
+                    per_server_blocks[server_name],
+                )],
+                outbound=chunks,
+            )
+
+        def reassemble(chunk):
+            name, seconds, _transfer = chunk
+            stats.per_server_seconds[name] = seconds
+
+        pipe.stage("reassemble", reassemble, inbound=chunks)
+        if plan:
+            yield pipe.run()
+        if self.compression is not None and nbytes > stats.missing_bytes:
+            cpu = self.compression.decompress_seconds(
+                nbytes - stats.missing_bytes
+            )
+            stats.decompress_seconds = cpu
+            host = self.network.hosts[self.host_name]
+            yield host.compute(cpu, label=f"{label}:inflate")
+        stats.end = env.now
+        return stats
+
+    def _read_with_policy(self, block_map: BlockMap, server_name: str,
+                          n_blocks: int, n_bytes: float,
+                          blocks: Sequence[int], stats: ReadStats,
+                          label: str):
+        """One server share under the retry/backoff/failover loop.
+
+        Never raises: exhausting the policy records the loss in
+        ``stats`` (``missing_bytes``/``failed_servers``) and returns
+        ``None``, so the surrounding pipeline stage always completes
+        normally and the sanitizer sees a clean run.
+        """
+        from repro.dpss.master import ServerUnavailable
+
+        env = self.network.env
+        policy = self.policy
+        assert policy is not None
+        target = server_name
+        attempt = 0
+        recovered = False
+        while True:
+            try:
+                transfer = yield from self._attempt_with_policy(
+                    block_map, target, n_blocks, n_bytes, blocks,
+                    stats, label,
+                )
+                if recovered:
+                    self._log(
+                        Tags.RETRY_OK, server=target, attempts=attempt + 1,
+                        nbytes=n_bytes,
+                    )
+                return transfer
+            except (ReadTimeout, ServerUnavailable) as exc:
+                recovered = True
+                tag = (
+                    Tags.RETRY_TIMEOUT
+                    if isinstance(exc, ReadTimeout)
+                    else Tags.RETRY_REFUSED
+                )
+                self._log(tag, server=target, attempt=attempt)
+                if attempt >= policy.max_retries:
+                    self._log(
+                        Tags.RETRY_GIVEUP, server=target,
+                        attempts=attempt + 1, nbytes=n_bytes,
+                    )
+                    stats.failed_servers.append(target)
+                    stats.missing_bytes += n_bytes
+                    return None
+                stats.retries += 1
+                delay = policy.backoff_delay(attempt, self.rng)
+                self._log(
+                    Tags.RETRY_BACKOFF, server=target, attempt=attempt,
+                    delay=round(delay, 6),
+                )
+                yield env.timeout(delay)
+                # Consult the master for a stand-in replica holder: one
+                # control round trip (held further if it is stalled).
+                route = self.network.route(
+                    self.host_name, self.master.host.name
+                )
+                yield env.timeout(
+                    route.rtt
+                    + self.master.lookup_latency
+                    + self.master.stall_delay(env.now)
+                )
+                failover = self.master.failover_server(block_map, target)
+                if failover is not None and failover != target:
+                    self._log(
+                        Tags.RETRY_FAILOVER, server=target, to=failover,
+                    )
+                    target = failover
+                attempt += 1
+
+    def _attempt_with_policy(self, block_map: BlockMap, server_name: str,
+                             n_blocks: int, n_bytes: float,
+                             blocks: Sequence[int], stats: ReadStats,
+                             label: str):
+        """One bounded attempt: primary read vs deadline vs hedge.
+
+        Raises :class:`~repro.faults.policy.ReadTimeout` when the
+        deadline fires first and
+        :class:`~repro.dpss.master.ServerUnavailable` when the target
+        refuses (offline). On success returns the winning
+        :class:`~repro.netsim.tcp.TransferStats`.
+        """
+        from repro.dpss.master import ServerUnavailable
+
+        env = self.network.env
+        policy = self.policy
+        assert policy is not None
+        dataset = block_map.dataset
+        server = self.master.servers[server_name]
+        if not server.online:
+            raise ServerUnavailable(f"server {server_name!r} is offline")
+        hits, misses = server.cache_lookup(
+            dataset.name, list(blocks), dataset.block_size
+        )
+        disk_fraction = misses / n_blocks if n_blocks else 0.0
+        wire = (
+            self.compression.wire_bytes(n_bytes)
+            if self.compression is not None
+            else n_bytes
+        )
+        reads = [self._launch_read(server, wire, disk_fraction, label)]
+        deadline = (
+            env.timeout(policy.timeout)
+            if policy.timeout is not None
+            else None
+        )
+        hedge_timer = (
+            env.timeout(policy.hedge_after)
+            if policy.hedge_after is not None
+            else None
+        )
+        hedged = False
+        while True:
+            waits = [p for p in reads if not p.processed]
+            if deadline is not None and not deadline.processed:
+                waits.append(deadline)
+            if (
+                hedge_timer is not None
+                and not hedge_timer.processed
+                and not hedged
+            ):
+                waits.append(hedge_timer)
+            if not waits:
+                # Every read died without a result and no deadline is
+                # armed: surface as a refusal so the retry loop spins.
+                raise ServerUnavailable(
+                    f"all reads from {server_name!r} were torn down"
+                )
+            yield env.any_of(waits)
+            winner = self._pick_winner(reads)
+            if winner is not None:
+                for p in reads:
+                    if p.is_alive:
+                        p.interrupt("lost-race")
+                stats.cache_hit_blocks += hits
+                stats.wire_bytes += wire
+                return winner
+            reads = [p for p in reads if not p.processed]
+            if hedge_timer is not None and hedge_timer.processed and not hedged:
+                hedged = True
+                replica = self.master.failover_server(block_map, server_name)
+                if replica is not None:
+                    stats.hedges += 1
+                    self._log(
+                        Tags.RETRY_HEDGE, server=server_name, to=replica,
+                        nbytes=n_bytes,
+                    )
+                    rserver = self.master.servers[replica]
+                    rhits, rmisses = rserver.cache_lookup(
+                        dataset.name, list(blocks), dataset.block_size
+                    )
+                    rfrac = rmisses / n_blocks if n_blocks else 0.0
+                    reads.append(
+                        self._launch_read(rserver, wire, rfrac, label)
+                    )
+            if deadline is not None and deadline.processed:
+                for p in reads:
+                    if p.is_alive:
+                        p.interrupt("deadline")
+                for p in reads:
+                    if not p.processed:
+                        yield p
+                raise ReadTimeout(
+                    f"read from {server_name!r} exceeded "
+                    f"{policy.timeout}s"
+                )
+
+    @staticmethod
+    def _pick_winner(reads) -> Optional[TransferStats]:
+        for p in reads:
+            if p.processed:
+                result = p.value
+                if result is not None and not result.aborted:
+                    return result
+        return None
+
+    def _launch_read(self, server: "DpssServer", wire: float,
+                     disk_fraction: float, label: str):
+        conn = self._lease_connection(server.name)
+        return self.network.env.process(
+            self._single_read(conn, server, wire, disk_fraction, label)
+        )
+
+    def _single_read(self, conn: TcpConnection, server: "DpssServer",
+                     wire: float, disk_fraction: float, label: str):
+        """One cancellable transfer; returns ``None`` when torn down."""
+        try:
+            transfer = yield from self._server_transfer(
+                conn, server, wire, disk_fraction, label,
+                lead=self._read_lead(server),
+            )
+            return transfer
+        except Interrupt:
+            conn.abort()  # tear down the in-flight send, if any
+            return None
+        finally:
+            self._release_connection(conn)
+
+    # -- shared transfer path -------------------------------------------
+    def _read_lead(self, server: "DpssServer") -> float:
+        """Request latency before a server starts streaming a read."""
         route = self.network.route(self.host_name, server.host.name)
-        yield env.timeout(route.rtt / 2.0 + server.per_request_overhead)
-        # Cache hits skip the disks: scale the flow's disk usage.
+        return route.rtt / 2.0 + server.per_request_overhead
+
+    def _server_transfer(self, conn: TcpConnection, server: "DpssServer",
+                         n_bytes: float, disk_fraction: float, label: str,
+                         *, lead: float):
+        """One request/transfer exchange with a block server.
+
+        ``lead`` is the pre-transfer latency (request propagation plus
+        the server's handling overhead); cache hits scale the flow's
+        disk-pool usage down via ``disk_fraction``.
+        """
+        env = self.network.env
+        yield env.timeout(lead)
         original = conn._usage.get(server.disks, 1.0)
         conn._usage[server.disks] = disk_fraction
         try:
@@ -298,6 +702,18 @@ class DpssClient:
             ).append(b)
 
         stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
+
+        def server_write(server_name: str, n_bytes: float):
+            server = self.master.servers[server_name]
+            conn = self._connection_to(server_name, direction="write")
+            t0 = env.now
+            transfer = yield from self._server_transfer(
+                conn, server, n_bytes, 1.0, label,
+                lead=server.per_request_overhead,
+            )
+            stats.per_server_seconds[server_name] = env.now - t0
+            return transfer
+
         events = []
         for server_name, (n_blocks, n_bytes) in plan.items():
             server = self.master.servers[server_name]
@@ -307,37 +723,12 @@ class DpssClient:
                 dataset.block_size,
             )
             stats.total_blocks += n_blocks
-            conn = self._write_connection_to(server_name)
-            events.append(
-                env.process(
-                    self._server_write(conn, server, n_bytes, label)
-                )
-            )
+            events.append(env.process(server_write(server_name, n_bytes)))
             stats.per_server_bytes[server_name] = n_bytes
             stats.wire_bytes += n_bytes
         if events:
             yield env.all_of(events)
         stats.end = env.now
-        return stats
-
-    def _write_connection_to(self, server_name: str) -> TcpConnection:
-        key = f"w:{server_name}"
-        if key not in self._server_conns:
-            server = self.master.servers[server_name]
-            self._server_conns[key] = TcpConnection(
-                self.network,
-                self.host_name,
-                server.host.name,
-                self.tcp_params,
-                extra_usage={server.disks: 1.0},
-            )
-        return self._server_conns[key]
-
-    def _server_write(self, conn: TcpConnection, server, n_bytes: float,
-                      label: str):
-        env = self.network.env
-        yield env.timeout(server.per_request_overhead)
-        stats = yield conn.send(n_bytes, label=f"{label}:{server.name}")
         return stats
 
     def close(self, handle: DpssHandle) -> None:

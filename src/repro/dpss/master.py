@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.dpss.blocks import BlockMap, DpssDataset
 from repro.util.validation import check_non_negative
@@ -45,6 +45,13 @@ class DpssMaster:
         self._maps: Dict[str, BlockMap] = {}
         #: dataset -> allowed client host names; absent = world readable
         self._acl: Dict[str, Set[str]] = {}
+        #: sim time until which the master answers nothing (an injected
+        #: :class:`~repro.faults.plan.MasterStall`); 0 = never stalled
+        self.stalled_until: float = 0.0
+
+    def stall_delay(self, now: float) -> float:
+        """Extra wait a request issued at ``now`` pays before service."""
+        return max(self.stalled_until - now, 0.0)
 
     def add_server(self, server: "DpssServer") -> "DpssServer":
         """Register a block server with this master."""
@@ -59,6 +66,7 @@ class DpssMaster:
         *,
         servers: Optional[List[str]] = None,
         allowed_clients: Optional[List[str]] = None,
+        replicas: int = 1,
     ) -> BlockMap:
         """Stripe a dataset across servers (all of them by default)."""
         if dataset.name in self._maps:
@@ -70,7 +78,7 @@ class DpssMaster:
         for name in servers:
             if name not in self.servers:
                 raise KeyError(f"unknown server {name!r}")
-        block_map = BlockMap(dataset, servers)
+        block_map = BlockMap(dataset, servers, replicas=replicas)
         self._maps[dataset.name] = block_map
         if allowed_clients is not None:
             self._acl[dataset.name] = set(allowed_clients)
@@ -91,3 +99,64 @@ class DpssMaster:
     def datasets(self) -> List[str]:
         """Names of registered datasets."""
         return sorted(self._maps)
+
+    # -- placement / load balancing ------------------------------------
+    def place_block(self, block_map: BlockMap, block: int) -> str:
+        """The server a read of ``block`` should target right now.
+
+        The first *online* replica holder in stripe order wins (the
+        master's "load balancing" duty, Figure 7); with every holder
+        down the primary is returned so the failure surfaces at the
+        read, not silently at planning time.
+        """
+        for name in block_map.replica_servers(block):
+            if self.servers[name].online:
+                return name
+        return block_map.server_of_block(block)
+
+    def plan_read(
+        self, block_map: BlockMap, offset: float, nbytes: float
+    ) -> Tuple[Dict[str, Tuple[int, float]], Dict[str, List[int]]]:
+        """Per-server work for a range read, avoiding offline servers.
+
+        Returns ``(plan, per_server_blocks)`` where ``plan`` maps each
+        chosen server to ``(n_blocks, n_bytes)`` and
+        ``per_server_blocks`` lists the logical blocks it will serve.
+        Unlike :meth:`BlockMap.plan_read` -- the static primary-only
+        striping -- this consults live server state, re-balancing
+        lookups away from dead servers when the dataset has replicas.
+        """
+        blocks = block_map.blocks_for_range(offset, nbytes)
+        bs = block_map.dataset.block_size
+        plan: Dict[str, Tuple[int, float]] = {}
+        per_server_blocks: Dict[str, List[int]] = {}
+        for block in blocks:
+            lo = max(block * bs, offset)
+            hi = min(
+                (block + 1) * bs, offset + nbytes, block_map.dataset.size
+            )
+            server = self.place_block(block_map, block)
+            n, b = plan.get(server, (0, 0.0))
+            plan[server] = (n + 1, b + max(hi - lo, 0.0))
+            per_server_blocks.setdefault(server, []).append(block)
+        return plan, per_server_blocks
+
+    def failover_server(
+        self, block_map: BlockMap, server_name: str
+    ) -> Optional[str]:
+        """An online replica holder that can stand in for a server.
+
+        Blocks primary on stripe position ``i`` are replicated on the
+        next ``replicas - 1`` positions, so any of those servers can
+        serve a failed peer's share. Returns ``None`` when the dataset
+        has no replicas or every candidate is down.
+        """
+        names = block_map.server_names
+        if server_name not in names or block_map.replicas < 2:
+            return None
+        i = names.index(server_name)
+        for j in range(1, block_map.replicas):
+            candidate = names[(i + j) % len(names)]
+            if candidate != server_name and self.servers[candidate].online:
+                return candidate
+        return None

@@ -1,0 +1,210 @@
+"""The fault injector: replays a FaultPlan against a live session.
+
+One simulation process walks the plan's inject/clear transitions in
+time order and mutates the session's fluid resources and DPSS state:
+
+- ``server_crash``   -- the server's ``online`` flag drops and its
+  disk pool and NIC collapse to (effectively) zero, stalling anything
+  in flight until the window closes;
+- ``server_slowdown`` -- the disk pool runs at ``factor`` capacity;
+- ``link_flap``      -- the link's capacity collapses to zero;
+- ``loss_spike``     -- the link runs at ``factor`` of its capacity
+  (the goodput TCP realises under that loss rate);
+- ``master_stall``   -- lookups wait until the stall window ends.
+
+Overlapping windows compose multiplicatively per resource, and every
+transition is stamped as a ``FAULT_INJECT``/``FAULT_CLEAR`` NetLogger
+event so NLV timelines show exactly when the world misbehaved. The
+injector draws no randomness and schedules only its own timeouts: a
+plan with no events changes nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.netlogger.events import Tags
+from repro.netlogger.logger import NetLogger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dpss.master import DpssMaster
+    from repro.netlogger.daemon import NetLogDaemon
+    from repro.netsim.topology import Network
+    from repro.simcore.fluid import FluidResource
+    from repro.simcore.process import Process
+
+#: capacity floor for "down" resources (bytes/s); strictly positive so
+#: the max-min allocator never divides through a zero-capacity column
+_DOWN_CAPACITY = 1e-3
+
+
+class FaultInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to a session.
+
+    ``link_aliases`` maps symbolic link names in the plan (``"wan"``)
+    to the concrete :class:`~repro.netsim.link.Link` names of this
+    session, so one drill file works across campaigns.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        master: Optional["DpssMaster"],
+        plan: FaultPlan,
+        *,
+        daemon: Optional["NetLogDaemon"] = None,
+        link_aliases: Optional[Dict[str, str]] = None,
+    ):
+        self.network = network
+        self.master = master
+        self.plan = plan
+        self.link_aliases = dict(link_aliases or {})
+        self.logger = NetLogger(
+            "faultd",
+            "faults",
+            clock=lambda: network.env.now,
+            daemon=daemon,
+        )
+        #: resource name -> capacity before any fault touched it
+        self._base: Dict[str, float] = {}
+        self._resources: Dict[str, "FluidResource"] = {}
+        #: resource name -> {event index: capacity multiplier}
+        self._scales: Dict[str, Dict[int, float]] = {}
+        #: server name -> indices of crash windows currently open
+        self._crashed: Dict[str, Set[int]] = {}
+        self._proc: Optional["Process"] = None
+        self.injected = 0
+        self.cleared = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> Optional["Process"]:
+        """Launch the injection process; no-op for an empty plan."""
+        if self._proc is None and self.plan.events:
+            self._proc = self.network.env.process(self._run())
+        return self._proc
+
+    def _run(self):
+        env = self.network.env
+        # Interleave inject/clear transitions in time order; clears
+        # sort before injects at the same instant so a back-to-back
+        # window hands over cleanly.
+        transitions: List[Tuple[float, int, int, str, FaultEvent]] = []
+        for i, ev in enumerate(self.plan.events):
+            transitions.append((ev.at, 1, i, "inject", ev))
+            transitions.append((ev.at + ev.duration, 0, i, "clear", ev))
+        transitions.sort(key=lambda t: (t[0], t[1], t[2]))
+        for at, _order, i, action, ev in transitions:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            if action == "inject":
+                self._inject(i, ev)
+            else:
+                self._clear(i, ev)
+
+    # -- transitions ---------------------------------------------------
+    def _inject(self, i: int, ev: FaultEvent) -> None:
+        kind = ev.kind
+        data: Dict[str, object] = {"kind": kind, "duration": ev.duration}
+        if kind == "server_crash":
+            server = self._server(ev.server)
+            data["target"] = server.name
+            self._crashed.setdefault(server.name, set()).add(i)
+            server.online = False
+            self._scale(i, server.disks, 0.0)
+            self._scale(i, server.host.nic, 0.0)
+        elif kind == "server_slowdown":
+            server = self._server(ev.server)
+            data["target"] = server.name
+            data["factor"] = ev.factor
+            self._scale(i, server.disks, ev.factor)
+        elif kind == "link_flap":
+            resource = self._link_resource(ev.link)
+            data["target"] = resource.name
+            self._scale(i, resource, 0.0)
+        elif kind == "loss_spike":
+            resource = self._link_resource(ev.link)
+            data["target"] = resource.name
+            data["factor"] = ev.factor
+            self._scale(i, resource, ev.factor)
+        elif kind == "master_stall":
+            master = self._require_master()
+            data["target"] = master.name
+            master.stalled_until = max(
+                master.stalled_until, self.network.env.now + ev.duration
+            )
+        self.injected += 1
+        self.logger.log(Tags.FAULT_INJECT, **data)
+
+    def _clear(self, i: int, ev: FaultEvent) -> None:
+        kind = ev.kind
+        data: Dict[str, object] = {"kind": kind}
+        if kind == "server_crash":
+            server = self._server(ev.server)
+            data["target"] = server.name
+            open_windows = self._crashed.get(server.name, set())
+            open_windows.discard(i)
+            if not open_windows:
+                server.online = True
+            self._unscale(i, server.disks)
+            self._unscale(i, server.host.nic)
+        elif kind == "server_slowdown":
+            server = self._server(ev.server)
+            data["target"] = server.name
+            self._unscale(i, server.disks)
+        elif kind in ("link_flap", "loss_spike"):
+            resource = self._link_resource(ev.link)
+            data["target"] = resource.name
+            self._unscale(i, resource)
+        elif kind == "master_stall":
+            data["target"] = self._require_master().name
+        self.cleared += 1
+        self.logger.log(Tags.FAULT_CLEAR, **data)
+
+    # -- capacity bookkeeping ------------------------------------------
+    def _scale(self, i: int, resource: "FluidResource", factor: float) -> None:
+        name = resource.name
+        if name not in self._base:
+            self._base[name] = resource.capacity
+            self._resources[name] = resource
+        self._scales.setdefault(name, {})[i] = factor
+        self._apply(name)
+
+    def _unscale(self, i: int, resource: "FluidResource") -> None:
+        scales = self._scales.get(resource.name)
+        if scales is not None:
+            scales.pop(i, None)
+        self._apply(resource.name)
+
+    def _apply(self, name: str) -> None:
+        base = self._base[name]
+        effective = base
+        for factor in self._scales.get(name, {}).values():
+            effective *= factor
+        self.network.sched.set_capacity(
+            self._resources[name], max(effective, _DOWN_CAPACITY)
+        )
+
+    # -- target resolution ---------------------------------------------
+    def _server(self, name: str):
+        master = self._require_master()
+        if name not in master.servers:
+            raise KeyError(
+                f"fault plan targets unknown server {name!r}; "
+                f"known: {sorted(master.servers)}"
+            )
+        return master.servers[name]
+
+    def _require_master(self) -> "DpssMaster":
+        if self.master is None:
+            raise ValueError("this fault plan needs a DPSS master to target")
+        return self.master
+
+    def _link_resource(self, name: str) -> "FluidResource":
+        resolved = self.link_aliases.get(name, name)
+        if resolved not in self.network.links:
+            raise KeyError(
+                f"fault plan targets unknown link {name!r}; "
+                f"known: {sorted(self.network.links)}"
+            )
+        return self.network.links[resolved].resource

@@ -1,0 +1,219 @@
+"""Fault plans: deterministic schedules of injected failures.
+
+A :class:`FaultPlan` is an immutable, time-sorted schedule of fault
+events -- server crashes and slowdowns, link flaps, loss spikes, and
+master stalls -- that the :class:`~repro.faults.injector.FaultInjector`
+replays against a simulated session. Plans are plain data: they can be
+round-tripped through JSON (``--faults plan.json`` on the CLI) and
+carry no randomness of their own, so a given (plan, seed) pair always
+produces a bit-identical event stream.
+
+The event vocabulary mirrors what the paper's WAN testbeds actually
+did to Visapult: DPSS block servers dropped out or ran hot (section
+3.5's commodity hardware), NTON/SciNet segments flapped and carried
+competing traffic (section 4.4), and TCP collapsed under loss
+(section 7's "wide area network behaviors observed during testing").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar, Dict, Iterable, List, Tuple, Type, Union
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+def _check_window(at: float, duration: float) -> None:
+    check_non_negative("at", at)
+    check_positive("duration", duration)
+
+
+def _check_factor(factor: float) -> None:
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """A DPSS block server goes dark for ``duration`` seconds.
+
+    The server refuses new reads (``online`` drops) and anything in
+    flight against its disks or NIC stalls until the window closes --
+    "the DPSS stripes without replication, so losing a server makes a
+    stripe's blocks unreachable until it returns" (unless the dataset
+    carries replicas and the master re-balances).
+    """
+
+    at: float
+    duration: float
+    server: str
+    kind: ClassVar[str] = "server_crash"
+
+    def __post_init__(self):
+        _check_window(self.at, self.duration)
+
+
+@dataclass(frozen=True)
+class ServerSlowdown:
+    """A server's disk pool degrades to ``factor`` of its bandwidth.
+
+    Models a failing disk or a busy co-tenant on the commodity block
+    server; reads still complete, just slower.
+    """
+
+    at: float
+    duration: float
+    server: str
+    factor: float = 0.25
+    kind: ClassVar[str] = "server_slowdown"
+
+    def __post_init__(self):
+        _check_window(self.at, self.duration)
+        _check_factor(self.factor)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A network link drops to (effectively) zero capacity.
+
+    ``link`` names a :class:`~repro.netsim.link.Link`; the injector
+    also understands the alias ``"wan"`` for a campaign's WAN segment.
+    """
+
+    at: float
+    duration: float
+    link: str
+    kind: ClassVar[str] = "link_flap"
+
+    def __post_init__(self):
+        _check_window(self.at, self.duration)
+
+
+@dataclass(frozen=True)
+class LossSpike:
+    """Packet loss collapses a link's usable throughput to ``factor``.
+
+    The fluid model carries goodput, not packets, so a loss episode is
+    expressed as the throughput multiplier TCP would realise under
+    that loss rate -- section 7's observation that "TCP performance
+    over the WAN" was the limiting factor.
+    """
+
+    at: float
+    duration: float
+    link: str
+    factor: float = 0.3
+    kind: ClassVar[str] = "loss_spike"
+
+    def __post_init__(self):
+        _check_window(self.at, self.duration)
+        _check_factor(self.factor)
+
+
+@dataclass(frozen=True)
+class MasterStall:
+    """The DPSS master stops answering lookups until the window ends.
+
+    Open/lookup requests issued during the stall wait for the master
+    to come back; established block streams are unaffected (Figure 7
+    separates the control path from the data paths).
+    """
+
+    at: float
+    duration: float
+    kind: ClassVar[str] = "master_stall"
+
+    def __post_init__(self):
+        _check_window(self.at, self.duration)
+
+
+FaultEvent = Union[ServerCrash, ServerSlowdown, LinkFlap, LossSpike, MasterStall]
+
+_KINDS: Dict[str, Type[Any]] = {
+    cls.kind: cls
+    for cls in (ServerCrash, ServerSlowdown, LinkFlap, LossSpike, MasterStall)
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> FaultEvent:
+    """Build one fault event from its JSON dictionary form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    return _KINDS[kind](**payload)
+
+
+def event_to_dict(event: FaultEvent) -> Dict[str, Any]:
+    """Serialise one fault event to its JSON dictionary form."""
+    out: Dict[str, Any] = {"kind": event.kind}
+    out.update(asdict(event))
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        ordered = tuple(sorted(self.events, key=lambda ev: ev.at))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan that injects nothing (bit-identical to no plan)."""
+        return cls()
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """A plan from any iterable of fault events."""
+        return cls(events=tuple(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time at which the last fault window closes."""
+        return max((ev.at + ev.duration for ev in self.events), default=0.0)
+
+    # -- JSON ----------------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON: a list of events or ``{"events": [...]}``."""
+        data = json.loads(text)
+        if isinstance(data, dict):
+            data = data.get("events", [])
+        if not isinstance(data, list):
+            raise ValueError("fault plan JSON must be a list or {'events': []}")
+        return cls.of(event_from_dict(item) for item in data)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise the plan as a JSON ``{"events": [...]}`` document."""
+        return json.dumps(
+            {"events": [event_to_dict(ev) for ev in self.events]},
+            indent=indent,
+        )
+
+    def targets(self) -> List[str]:
+        """Distinct server/link names the plan touches (sorted)."""
+        names = set()
+        for ev in self.events:
+            name = getattr(ev, "server", None) or getattr(ev, "link", None)
+            if name:
+                names.add(name)
+        return sorted(names)

@@ -52,10 +52,31 @@ class Tags:
     SAN_LOCK_ORDER = "SAN_LOCK_ORDER"
     SAN_REPORT = "SAN_REPORT"
 
+    # -- fault injection (repro.faults): the injector stamps one
+    # FAULT_INJECT/FAULT_CLEAR pair per scheduled fault window ---------
+    FAULT_INJECT = "FAULT_INJECT"
+    FAULT_CLEAR = "FAULT_CLEAR"
+
+    # -- request policy (DpssClient retries under faults): the paper's
+    # lossy-WAN degradation story, visible on NLV timelines ------------
+    RETRY_TIMEOUT = "RETRY_TIMEOUT"
+    RETRY_REFUSED = "RETRY_REFUSED"
+    RETRY_BACKOFF = "RETRY_BACKOFF"
+    RETRY_FAILOVER = "RETRY_FAILOVER"
+    RETRY_HEDGE = "RETRY_HEDGE"
+    RETRY_OK = "RETRY_OK"
+    RETRY_GIVEUP = "RETRY_GIVEUP"
+
+    # -- graceful degradation: a PE whose read gave up ships a stale or
+    # absent texture; the viewer composites the remaining slabs --------
+    BE_LOAD_DEGRADED = "BE_LOAD_DEGRADED"
+    BE_HEAVY_SKIP = "BE_HEAVY_SKIP"
+    V_SLAB_MISSING = "V_SLAB_MISSING"
+
 
 #: the prefixes a tag may legally carry; ``visapult lint`` enforces
 #: that every declared tag and every literal event name matches.
-TAG_PREFIXES = ("BE_", "V_", "DPSS_", "PIPE_", "SAN_")
+TAG_PREFIXES = ("BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_")
 
 
 def declared_tags() -> frozenset:

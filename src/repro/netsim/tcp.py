@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.simcore.events import Event
+from repro.simcore.events import Event, Interrupt
 from repro.simcore.fluid import FluidResource, FluidTask
+from repro.simcore.process import Process
 from repro.util.units import KIB
 from repro.util.validation import check_non_negative, check_positive
 
@@ -62,6 +63,9 @@ class TransferStats:
     sent: float
     #: time the last byte arrived at the receiver
     delivered: float
+    #: the transfer was torn down by :meth:`TcpConnection.abort`
+    #: before completing; timings cover only the attempted span
+    aborted: bool = False
 
     @property
     def duration(self) -> float:
@@ -117,6 +121,7 @@ class TcpConnection:
         #: a reader thread pinned to half a CPU; inf = unconstrained.
         self.host_cap: float = float("inf")
         self._current_task: Optional[FluidTask] = None
+        self._current_proc: Optional[Process] = None
 
     # -- dynamics ---------------------------------------------------------
     @property
@@ -149,7 +154,25 @@ class TcpConnection:
                 f"connection {self.src}->{self.dst} already has a send in flight"
             )
         self._busy = True
-        return self.network.env.process(self._send_proc(nbytes, label))
+        proc = self.network.env.process(self._send_proc(nbytes, label))
+        self._current_proc = proc
+        return proc
+
+    def abort(self) -> bool:
+        """Tear down the in-flight send (policy timeout, injected fault).
+
+        The send process resumes immediately and resolves *successfully*
+        with a :class:`TransferStats` whose ``aborted`` flag is set, so
+        waiters never see an unhandled failure. The connection resets:
+        it must re-establish and re-run slow start on the next send
+        (TCP's behaviour after a reset/loss storm). Returns ``True``
+        if a transfer was actually in flight.
+        """
+        proc = self._current_proc
+        if not self._busy or proc is None or not proc.is_alive:
+            return False
+        proc.interrupt("abort")
+        return True
 
     def _send_proc(self, nbytes: float, label: str):
         env = self.network.env
@@ -200,7 +223,22 @@ class TcpConnection:
             )
             self.history.append(stats)
             return stats
+        except Interrupt:
+            # abort(): withdraw the fluid task (its done event succeeds,
+            # so abandoned waiters never see an undefused failure) and
+            # reset the connection. Aborted transfers do not enter
+            # ``history``; the bytes never fully arrived.
+            if self._current_task is not None:
+                sched.withdraw(self._current_task)
+            self._established = False
+            self._cwnd = self.params.init_cwnd
+            return TransferStats(
+                nbytes=float(nbytes), start=start, sent=env.now,
+                delivered=env.now, aborted=True,
+            )
         finally:
+            self._current_task = None
+            self._current_proc = None
             self._busy = False
 
     def total_delivered(self) -> float:

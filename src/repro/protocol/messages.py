@@ -147,6 +147,20 @@ class HeavyPayload:
         )
         offset = head_size
         tex_bytes = h * w * 4
+        # Validate in Python-int arithmetic before handing sizes to
+        # numpy: a hostile header can request more bytes than ssize_t
+        # holds, which frombuffer reports as OverflowError, not
+        # ValueError.
+        need = (
+            head_size + tex_bytes
+            + (tex_bytes if has_depth else 0)
+            + n_grid * 24
+        )
+        if len(body) < need:
+            raise ValueError(
+                f"heavy payload truncated: header promises {need} "
+                f"bytes, got {len(body)}"
+            )
         texture = np.frombuffer(
             body, dtype=np.uint8, count=tex_bytes, offset=offset
         ).reshape(h, w, 4).copy()

@@ -185,6 +185,25 @@ class FluidScheduler:
         task.remaining += extra
         self._reallocate()
 
+    def withdraw(self, task: FluidTask) -> None:
+        """Remove a running task, *succeeding* its done event.
+
+        The cooperative variant of :meth:`cancel` for callers that
+        handle the abort themselves (e.g. a TCP send torn down by
+        :meth:`~repro.netsim.tcp.TcpConnection.abort`): waiters that
+        were already abandoned must not receive a failure nobody will
+        defuse. The event value is the withdrawal time, like a normal
+        completion.
+        """
+        if task.name not in self._active:
+            return
+        self._advance()
+        del self._active[task.name]
+        task.rate = 0.0
+        assert task.done is not None  # active tasks were submitted
+        task.done.succeed(self.env.now)
+        self._reallocate()
+
     def cancel(self, task: FluidTask) -> None:
         """Abort a running task; its done event fails with Interrupt."""
         if task.name not in self._active:

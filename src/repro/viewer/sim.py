@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
+from repro.config import _UNSET, NetworkConfig, warn_deprecated_kwarg
 from repro.netlogger.events import Tags
 from repro.netlogger.logger import NetLogger
 from repro.netsim.tcp import TcpConnection, TcpParams
@@ -88,14 +89,28 @@ class SimViewer:
         *,
         daemon: Optional["NetLogDaemon"] = None,
         light_bytes: float = 256.0,
-        tcp_params: Optional[TcpParams] = None,
+        config: Optional[NetworkConfig] = None,
+        tcp_params: Optional[TcpParams] = _UNSET,
         render_loop: Optional[RenderLoopModel] = None,
     ):
         check_positive("light_bytes", light_bytes)
+        if tcp_params is not _UNSET:
+            if config is not None:
+                raise ValueError(
+                    "pass either config= or the deprecated tcp_params=, "
+                    "not both"
+                )
+            warn_deprecated_kwarg(
+                "SimViewer", "tcp_params", "config=NetworkConfig(tcp=...)"
+            )
+            config = NetworkConfig(
+                tcp=tcp_params if tcp_params is not None else TcpParams()
+            )
+        self.config = config if config is not None else NetworkConfig()
         self.network = network
         self.host_name = host_name
         self.light_bytes = float(light_bytes)
-        self.tcp_params = tcp_params if tcp_params is not None else TcpParams()
+        self.tcp_params = self.config.tcp
         self.render_loop = (
             render_loop if render_loop is not None else RenderLoopModel()
         )
@@ -111,6 +126,9 @@ class SimViewer:
         self.scene_updates = 0
         self.bytes_received = 0.0
         self.frames_completed: Dict[int, Set[int]] = {}
+        #: (rank, frame) pairs whose texture never arrived; the scene
+        #: keeps the slab's previous texture (or a hole on frame 0)
+        self.missing_slabs: Set[Tuple[int, int]] = set()
         # Receive stages (one per PE) merge into the scene-update
         # stage, which performs the texture swap into the scene graph.
         # daemon=True: receive/scene stages serve for the whole run and
@@ -159,6 +177,21 @@ class SimViewer:
         """Ship a slab texture (plus optional geometry) from PE ``rank``."""
         check_positive("nbytes", nbytes)
         return self._enqueue(rank, frame, float(nbytes), light=False)
+
+    def deliver_absent(self, rank: int, frame: int) -> Event:
+        """Record that PE ``rank`` has no texture for ``frame``.
+
+        Nothing crosses the wire; the viewer logs the hole
+        (``V_SLAB_MISSING``) and the compositor renders the remaining
+        slabs. The returned event is already complete.
+        """
+        if rank not in self._conns:
+            raise KeyError(f"PE rank {rank} not registered with viewer")
+        self.logger.log(Tags.V_SLAB_MISSING, frame=frame, rank=rank)
+        self.missing_slabs.add((rank, frame))
+        done = Event(self.network.env)
+        done.succeed(None)
+        return done
 
     def _enqueue(
         self, rank: int, frame: int, nbytes: float, *, light: bool

@@ -120,6 +120,7 @@ def test_sim_only_package_list_matches_issue():
         "dpss",
         "backend",
         "viewer",
+        "faults",
     }
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.backend.sim import SimBackEnd
 from repro.core.campaign import CampaignConfig, build_session
 from repro.netlogger.analysis import EventLog
+from repro.config import BackendConfig
 
 
 def tiny(mpi=True, n_pes=4, frames=3):
@@ -55,18 +56,20 @@ class TestMpiOnlyMode:
         with pytest.raises(ValueError):
             SimBackEnd(
                 net, backend.pe_hosts[:3], backend.master, "x", viewer,
-                backend.meta, daemon=daemon, mpi_only_overlap=True,
+                backend.meta, daemon=daemon,
+                config=BackendConfig(mpi_only_overlap=True),
             )
         with pytest.raises(ValueError):
             SimBackEnd(
                 net, backend.pe_hosts, backend.master, "x", viewer,
-                backend.meta, daemon=daemon, mpi_only_overlap=True,
-                overlapped=True,
+                backend.meta, daemon=daemon,
+                config=BackendConfig(mpi_only_overlap=True, overlapped=True),
             )
         with pytest.raises(ValueError):
             SimBackEnd(
                 net, backend.pe_hosts, backend.master, "x", viewer,
-                backend.meta, daemon=daemon, interconnect_rate=0,
+                backend.meta, daemon=daemon,
+                config=BackendConfig(interconnect_rate=0),
             )
 
     def test_interconnect_rate_matters(self):

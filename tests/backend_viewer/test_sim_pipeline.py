@@ -8,6 +8,7 @@ from repro.datagen.timeseries import TimeSeriesMeta
 from repro.netlogger.analysis import EventLog
 from repro.netlogger.events import Tags
 from repro.viewer.sim import RenderLoopModel, SimViewer
+from repro.config import BackendConfig
 
 
 def tiny_session(overlapped=False, n_pes=4, frames=3, platform=None):
@@ -135,7 +136,7 @@ class TestBackEndModes:
         with pytest.raises(ValueError):
             SimBackEnd(
                 net, backend.pe_hosts, backend.master, "x", viewer, meta,
-                daemon=daemon, n_timesteps=5,
+                daemon=daemon, config=BackendConfig(n_timesteps=5),
             )
 
 
@@ -154,6 +155,29 @@ class TestViewer:
     def test_connection_per_pe(self):
         cfg, (net, backend, viewer, daemon) = tiny_session(n_pes=4)
         assert viewer.n_connections == backend.n_pes
+
+    def test_deliver_absent_composites_remaining_slabs(self):
+        """A missing slab is logged and skipped; the other PEs' slabs
+        still reach the scene graph (partial-frame compositing)."""
+        cfg, (net, backend, viewer, daemon) = tiny_session(n_pes=4)
+        ev = viewer.deliver_absent(1, 0)
+        assert ev.triggered
+        for rank in (0, 2, 3):
+            done = viewer.deliver_heavy(rank, 0, 1024.0)
+            net.run(until=done)
+        assert viewer.missing_slabs == {(1, 0)}
+        assert viewer.frames_completed[0] == {0, 2, 3}
+        # 3 of 4 slabs present: not complete at full PE count...
+        assert viewer.complete_frames(4) == 0
+        # ...but the compositor had every slab it was promised.
+        assert viewer.scene_updates == 3
+        log = EventLog(daemon.events)
+        assert len(log.filter(event=Tags.V_SLAB_MISSING).events) == 1
+
+    def test_deliver_absent_unregistered_rank_rejected(self):
+        cfg, (net, backend, viewer, daemon) = tiny_session()
+        with pytest.raises(KeyError):
+            viewer.deliver_absent(99, 0)
 
     def test_viewer_events_follow_backend_events(self):
         cfg, (net, backend, viewer, daemon) = tiny_session(frames=2)

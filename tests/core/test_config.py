@@ -1,0 +1,205 @@
+"""Consolidated-config tests: dataclasses, shims, JSON, the facade."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    BackendConfig,
+    ExperimentConfig,
+    NetworkConfig,
+)
+from repro.core.campaign import (
+    CampaignConfig,
+    build_session,
+    campaign_names,
+    named_campaign,
+)
+from repro.faults import FaultPlan, RequestPolicy, ServerCrash
+from repro.netsim import TcpParams
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        cfg = NetworkConfig()
+        assert cfg.tcp == TcpParams()
+        assert cfg.compression is None and cfg.policy is None
+
+    def test_with_changes(self):
+        cfg = NetworkConfig().with_changes(policy=RequestPolicy())
+        assert cfg.policy == RequestPolicy()
+
+
+class TestDeprecationShims:
+    def _world(self):
+        from repro.dpss import DpssDataset, DpssMaster, DpssServer
+        from repro.netsim import Host, Link, Network
+        from repro.util.units import MB, mbps
+
+        net = Network()
+        net.add_host(Host("client", nic_rate=mbps(1000)))
+        net.add_host(Host("master", nic_rate=mbps(100)))
+        lan = net.add_link(Link("lan", rate=mbps(1000), latency=0.0002))
+        net.add_route("client", "master", [lan])
+        master = DpssMaster(net.host("master"))
+        net.add_host(Host("s0", nic_rate=mbps(1000)))
+        srv = DpssServer(net.host("s0"), n_disks=2, disk_rate=10 * MB)
+        srv.attach(net)
+        master.add_server(srv)
+        net.add_route("s0", "client", [lan])
+        master.register_dataset(DpssDataset("ds", size=1 * MB))
+        return net, master
+
+    def test_client_legacy_tcp_params_warns_and_folds(self):
+        from repro.dpss import DpssClient
+
+        net, master = self._world()
+        params = TcpParams(slow_start=False)
+        with pytest.warns(DeprecationWarning, match="tcp_params"):
+            client = DpssClient(net, "client", master, tcp_params=params)
+        assert client.config == NetworkConfig(tcp=params)
+
+    def test_client_rejects_both_forms(self):
+        from repro.dpss import DpssClient
+
+        net, master = self._world()
+        with pytest.raises(ValueError, match="not both"):
+            DpssClient(
+                net, "client", master,
+                config=NetworkConfig(),
+                tcp_params=TcpParams(),
+            )
+
+    def test_viewer_legacy_tcp_params_warns(self):
+        from repro.netsim import Network, Host
+        from repro.util.units import mbps
+        from repro.viewer.sim import SimViewer
+
+        net = Network()
+        net.add_host(Host("viewer", nic_rate=mbps(100)))
+        params = TcpParams(slow_start=False)
+        with pytest.warns(DeprecationWarning, match="tcp_params"):
+            viewer = SimViewer(net, "viewer", tcp_params=params)
+        assert viewer.config.tcp == params
+
+    def test_backend_legacy_kwargs_warn_and_match_config(self):
+        from repro.backend.sim import SimBackEnd
+        from repro.viewer.sim import SimViewer
+
+        cfg = CampaignConfig.lan_e4500(overlapped=False).with_changes(
+            shape=(64, 32, 32), dataset_timesteps=8, n_timesteps=2,
+        )
+        net, backend, viewer, daemon = build_session(cfg)
+        fresh_viewer = SimViewer(net, "viewer")
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = SimBackEnd(
+                net, backend.pe_hosts, backend.master, backend.meta.name,
+                fresh_viewer, backend.meta, daemon=daemon,
+                overlapped=True, overlap_depth=3,
+            )
+        messages = [str(w.message) for w in record]
+        assert any("overlapped" in m for m in messages)
+        assert any("overlap_depth" in m for m in messages)
+        assert legacy.config == BackendConfig(
+            overlapped=True, overlap_depth=3
+        )
+
+    def test_backend_rejects_both_forms(self):
+        from repro.backend.sim import SimBackEnd
+
+        cfg = CampaignConfig.lan_e4500(overlapped=False).with_changes(
+            shape=(64, 32, 32), dataset_timesteps=8, n_timesteps=2,
+        )
+        net, backend, viewer, daemon = build_session(cfg)
+        with pytest.raises(ValueError, match="not both"):
+            SimBackEnd(
+                net, backend.pe_hosts, backend.master, backend.meta.name,
+                viewer, backend.meta, daemon=daemon,
+                config=BackendConfig(), overlapped=True,
+            )
+
+
+class TestCampaignRegistry:
+    def test_names_stable(self):
+        assert campaign_names() == [
+            "esnet_anl",
+            "lan_e4500",
+            "nton_cplant4",
+            "nton_cplant8",
+            "sc99_cosmology",
+            "sc99_showfloor",
+        ]
+
+    def test_overlapped_flag_respected(self):
+        cfg = named_campaign("lan_e4500", overlapped=True)
+        assert cfg.overlapped
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            named_campaign("atari_2600")
+
+
+class TestExperimentConfig:
+    def test_json_round_trip(self):
+        exp = ExperimentConfig(
+            campaign="sc99_showfloor",
+            scaled=True,
+            seed=7,
+            sanitize=True,
+            faults=FaultPlan.of([
+                ServerCrash(at=1.0, duration=2.0, server="dpss0")
+            ]),
+            policy=RequestPolicy.aggressive(),
+        )
+        assert ExperimentConfig.from_json(exp.to_json()) == exp
+
+    def test_from_json_requires_campaign(self):
+        with pytest.raises(ValueError, match="campaign"):
+            ExperimentConfig.from_json(json.dumps({"scaled": True}))
+
+    def test_policy_presets_in_json(self):
+        exp = ExperimentConfig.from_json(json.dumps({
+            "campaign": "lan_e4500", "policy": "aggressive",
+        }))
+        assert exp.policy == RequestPolicy.aggressive()
+
+    def test_to_campaign_config_applies_overrides(self):
+        exp = ExperimentConfig(
+            campaign="lan_e4500", frames=2, scaled=True, seed=9,
+        )
+        cfg = exp.to_campaign_config()
+        assert cfg.n_timesteps == 2 and cfg.seed == 9
+        assert cfg.shape == (160, 64, 64)
+        assert cfg.dataset_timesteps == 8
+
+    def test_faults_and_policy_thread_through(self):
+        plan = FaultPlan.of([
+            ServerCrash(at=1.0, duration=2.0, server="dpss0")
+        ])
+        exp = ExperimentConfig(
+            campaign="lan_e4500", faults=plan,
+            policy=RequestPolicy(timeout=1.0),
+        )
+        cfg = exp.to_campaign_config()
+        assert cfg.faults == plan and cfg.policy.timeout == 1.0
+
+
+class TestRunExperiment:
+    def test_facade_smoke(self):
+        from repro import api
+
+        exp = api.ExperimentConfig(
+            campaign="sc99_showfloor", scaled=True, frames=2,
+        )
+        result = api.run_experiment(exp)
+        assert result.n_frames == 2
+        assert result.viewer_frames_complete == 2
+
+    def test_accepts_concrete_campaign(self):
+        from repro import api
+
+        cfg = api.Campaign.sc99_showfloor().with_changes(
+            shape=(160, 64, 64), dataset_timesteps=8, n_timesteps=2,
+        )
+        result = api.run_experiment(cfg)
+        assert result.n_frames == 2

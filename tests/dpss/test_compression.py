@@ -11,6 +11,7 @@ from repro.dpss import (
 )
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import MB, mbps
+from repro.config import NetworkConfig
 
 
 def build(wan_mbps, compression=None, client_cpus=2):
@@ -30,8 +31,10 @@ def build(wan_mbps, compression=None, client_cpus=2):
     master.register_dataset(DpssDataset("ds", size=64 * MB))
     client = DpssClient(
         net, "client", master,
-        tcp_params=TcpParams(slow_start=False),
-        compression=compression,
+        config=NetworkConfig(
+            tcp=TcpParams(slow_start=False),
+            compression=compression,
+        ),
     )
     ev = client.open("ds")
     net.run(until=ev)

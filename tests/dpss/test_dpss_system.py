@@ -11,6 +11,7 @@ from repro.dpss import (
 )
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import KIB, MB, bytes_per_sec_to_mbps, mbps
+from repro.config import NetworkConfig
 
 
 def build_dpss(
@@ -40,7 +41,8 @@ def build_dpss(
         net.add_route(f"server{i}", "client", [lan])
         servers.append(s)
     client = DpssClient(
-        net, "client", master, tcp_params=TcpParams(slow_start=False)
+        net, "client", master,
+        config=NetworkConfig(tcp=TcpParams(slow_start=False)),
     )
     return net, master, servers, client
 

@@ -11,6 +11,7 @@ from repro.dpss import (
 )
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import KIB, MB, mbps
+from repro.config import NetworkConfig
 
 
 def build(n_servers=2):
@@ -30,7 +31,8 @@ def build(n_servers=2):
         servers.append(srv)
     master.register_dataset(DpssDataset("ds", size=16 * MB))
     client = DpssClient(net, "client", master,
-                        tcp_params=TcpParams(slow_start=False))
+                        config=NetworkConfig(
+                            tcp=TcpParams(slow_start=False)))
     ev = client.open("ds")
     net.run(until=ev)
     return net, master, servers, client, ev.value

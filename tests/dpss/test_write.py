@@ -5,6 +5,7 @@ import pytest
 from repro.dpss import DpssClient, DpssDataset, DpssMaster, DpssServer
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import KIB, MB, mbps
+from repro.config import NetworkConfig
 
 
 def build(disk_rate=10 * MB, cache_bytes=512 * MB):
@@ -25,7 +26,8 @@ def build(disk_rate=10 * MB, cache_bytes=512 * MB):
         servers.append(srv)
     master.register_dataset(DpssDataset("ds", size=64 * MB))
     client = DpssClient(net, "client", master,
-                        tcp_params=TcpParams(slow_start=False))
+                        config=NetworkConfig(
+                            tcp=TcpParams(slow_start=False)))
     ev = client.open("ds")
     net.run(until=ev)
     return net, client, servers, ev.value

@@ -1,0 +1,156 @@
+"""FaultPlan and drill-file tests: validation, ordering, JSON."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkFlap,
+    LossSpike,
+    MasterStall,
+    RequestPolicy,
+    ServerCrash,
+    ServerSlowdown,
+    event_from_dict,
+    event_to_dict,
+    load_drill,
+    policy_from_spec,
+)
+
+
+class TestEvents:
+    def test_validation_windows(self):
+        with pytest.raises(ValueError):
+            ServerCrash(at=-1.0, duration=1.0, server="dpss0")
+        with pytest.raises(ValueError):
+            ServerCrash(at=0.0, duration=0.0, server="dpss0")
+        with pytest.raises(ValueError):
+            MasterStall(at=0.0, duration=-2.0)
+
+    def test_validation_factors(self):
+        with pytest.raises(ValueError):
+            ServerSlowdown(at=0.0, duration=1.0, server="s", factor=0.0)
+        with pytest.raises(ValueError):
+            LossSpike(at=0.0, duration=1.0, link="wan", factor=1.5)
+        # The boundary factor 1.0 is a no-op but legal.
+        LossSpike(at=0.0, duration=1.0, link="wan", factor=1.0)
+
+    def test_round_trip_every_kind(self):
+        events = [
+            ServerCrash(at=1.0, duration=2.0, server="dpss0"),
+            ServerSlowdown(at=1.5, duration=1.0, server="dpss1", factor=0.5),
+            LinkFlap(at=2.0, duration=0.5, link="wan"),
+            LossSpike(at=3.0, duration=1.0, link="wan", factor=0.3),
+            MasterStall(at=4.0, duration=0.25),
+        ]
+        for ev in events:
+            assert event_from_dict(event_to_dict(ev)) == ev
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            event_from_dict({"kind": "meteor_strike", "at": 0.0})
+
+
+class TestPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.of([
+            MasterStall(at=5.0, duration=1.0),
+            ServerCrash(at=1.0, duration=1.0, server="dpss0"),
+            LinkFlap(at=3.0, duration=1.0, link="wan"),
+        ])
+        assert [ev.at for ev in plan.events] == [1.0, 3.0, 5.0]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.empty()
+        assert len(FaultPlan.empty()) == 0
+        assert FaultPlan.empty().horizon == 0.0
+
+    def test_horizon_covers_last_window(self):
+        plan = FaultPlan.of([
+            ServerCrash(at=1.0, duration=10.0, server="dpss0"),
+            MasterStall(at=8.0, duration=1.0),
+        ])
+        assert plan.horizon == 11.0
+
+    def test_targets_sorted_and_distinct(self):
+        plan = FaultPlan.of([
+            ServerCrash(at=0.0, duration=1.0, server="dpss1"),
+            ServerSlowdown(at=1.0, duration=1.0, server="dpss1"),
+            LinkFlap(at=2.0, duration=1.0, link="wan"),
+            MasterStall(at=3.0, duration=1.0),
+        ])
+        assert plan.targets() == ["dpss1", "wan"]
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.of([
+            ServerCrash(at=1.0, duration=2.0, server="dpss0"),
+            LossSpike(at=3.0, duration=1.0, link="wan", factor=0.4),
+        ])
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_accepts_bare_list(self):
+        text = json.dumps([
+            {"kind": "master_stall", "at": 1.0, "duration": 0.5}
+        ])
+        plan = FaultPlan.from_json(text)
+        assert len(plan) == 1 and plan.events[0].kind == "master_stall"
+
+    def test_json_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('"not a plan"')
+
+
+class TestPolicySpec:
+    def test_none_and_passthrough(self):
+        assert policy_from_spec(None) is None
+        p = RequestPolicy(timeout=1.0)
+        assert policy_from_spec(p) is p
+
+    def test_presets(self):
+        assert policy_from_spec("default") == RequestPolicy()
+        assert policy_from_spec("aggressive") == RequestPolicy.aggressive()
+        with pytest.raises(ValueError):
+            policy_from_spec("yolo")
+
+    def test_dict_spec(self):
+        p = policy_from_spec({"timeout": 5.0, "max_retries": 1})
+        assert p.timeout == 5.0 and p.max_retries == 1
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            policy_from_spec(42)
+
+
+class TestDrillFile:
+    def test_bare_list(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([
+            {"kind": "link_flap", "at": 1.0, "duration": 0.5, "link": "wan"}
+        ]))
+        drill = load_drill(str(path))
+        assert len(drill.plan) == 1
+        assert drill.campaign is None and drill.policy is None
+
+    def test_full_drill(self, tmp_path):
+        path = tmp_path / "drill.json"
+        path.write_text(json.dumps({
+            "campaign": "sc99_showfloor",
+            "scaled": True,
+            "seed": 7,
+            "policy": "aggressive",
+            "events": [
+                {"kind": "server_crash", "at": 1.0, "duration": 2.0,
+                 "server": "dpss0"},
+            ],
+        }))
+        drill = load_drill(str(path))
+        assert drill.campaign == "sc99_showfloor"
+        assert drill.scaled and drill.seed == 7
+        assert drill.policy == RequestPolicy.aggressive()
+        assert drill.plan.targets() == ["dpss0"]
+
+    def test_shipped_example_parses(self):
+        drill = load_drill("examples/plans/sc99_flaky.json")
+        assert drill.campaign == "sc99_showfloor"
+        assert len(drill.plan) == 5

@@ -6,6 +6,7 @@ from repro.dpss import DpssClient, DpssMaster, DpssServer
 from repro.hpss import ArchiveFile, HpssArchive, migrate_to_dpss
 from repro.netsim import Host, Link, Network, TcpParams
 from repro.util.units import GB, MB, mbps
+from repro.config import NetworkConfig
 
 
 def build_world():
@@ -28,7 +29,8 @@ def build_world():
         net.add_route(f"server{i}", "client", [lan])
     archive = HpssArchive(archive_host, mount_latency=20.0, drive_rate=15 * MB)
     client = DpssClient(net, "client", master,
-                        tcp_params=TcpParams(slow_start=False))
+                        config=NetworkConfig(
+                            tcp=TcpParams(slow_start=False)))
     return net, archive, master, client
 
 

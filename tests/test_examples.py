@@ -64,6 +64,13 @@ def test_scaling_study(tmp_path):
     assert "render time keeps falling" in out
 
 
+def test_fault_drill(tmp_path):
+    out = run_example("fault_drill.py", tmp_path)
+    assert "Fault drill" in out
+    assert "degraded frames" in out
+    assert "sanitizer: clean under injected faults" in out
+
+
 def test_corridor_planner(tmp_path):
     out = run_example("corridor_planner.py", tmp_path)
     assert "session plan" in out

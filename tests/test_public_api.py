@@ -8,6 +8,8 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.api",
+    "repro.faults",
     "repro.simcore",
     "repro.netsim",
     "repro.dpss",
@@ -62,3 +64,31 @@ def test_version_string():
     parts = repro.__version__.split(".")
     assert len(parts) == 3
     assert all(p.isdigit() for p in parts)
+
+
+def test_api_facade_pinned():
+    """repro.api is the stable facade: its exports are pinned exactly.
+
+    Adding a name here is a deliberate API promise; removing one is a
+    breaking change and needs a deprecation cycle.
+    """
+    from repro import api
+
+    assert sorted(api.__all__) == [
+        "BackendConfig",
+        "Campaign",
+        "CampaignResult",
+        "DpssClient",
+        "ExperimentConfig",
+        "FaultPlan",
+        "NetworkConfig",
+        "RequestPolicy",
+        "SimBackEnd",
+        "SimViewer",
+        "build_session",
+        "campaign_names",
+        "load_drill",
+        "named_campaign",
+        "run_campaign",
+        "run_experiment",
+    ]
