@@ -36,7 +36,7 @@ from repro.netlogger.events import TAG_PREFIXES, declared_tags
 #: packages (path components under ``repro/``) that run in simulated
 #: time only and must not touch wall clocks or real threads
 SIM_ONLY_PACKAGES = (
-    "simcore", "netsim", "dpss", "backend", "viewer", "faults"
+    "simcore", "netsim", "dpss", "backend", "viewer", "faults", "service"
 )
 
 #: ``time``-module attributes that read or burn wall-clock

@@ -42,10 +42,22 @@ from repro.core.campaign import (
 from repro.core.report import CampaignResult
 from repro.dpss.client import DpssClient
 from repro.faults import FaultPlan, RequestPolicy, load_drill
+from repro.service import (
+    AdmissionPolicy,
+    CacheConfig,
+    ServiceCampaign,
+    ServiceMetrics,
+    ServiceResult,
+    ViewerProfile,
+    WorkloadSpec,
+    run_service_campaign,
+)
 from repro.viewer.sim import SimViewer
 
 __all__ = [
+    "AdmissionPolicy",
     "BackendConfig",
+    "CacheConfig",
     "Campaign",
     "CampaignResult",
     "DpssClient",
@@ -53,19 +65,25 @@ __all__ = [
     "FaultPlan",
     "NetworkConfig",
     "RequestPolicy",
+    "ServiceCampaign",
+    "ServiceMetrics",
+    "ServiceResult",
     "SimBackEnd",
     "SimViewer",
+    "ViewerProfile",
+    "WorkloadSpec",
     "build_session",
     "campaign_names",
     "load_drill",
     "named_campaign",
     "run_campaign",
     "run_experiment",
+    "run_service_campaign",
 ]
 
 
 def run_experiment(
-    config: Union[ExperimentConfig, Campaign],
+    config: Union[ExperimentConfig, Campaign, ServiceCampaign],
     *,
     sanitize: Optional[bool] = None,
     ulm_path: Optional[str] = None,
@@ -73,9 +91,10 @@ def run_experiment(
     """Run one experiment end to end and reduce the results.
 
     ``config`` may be an :class:`ExperimentConfig` (resolved through
-    the named-campaign registry, honouring its ``sanitize`` flag) or a
-    concrete :class:`Campaign`. ``sanitize`` overrides the config's
-    setting when given; ``ulm_path`` writes the ULM event log.
+    the named-campaign registry, honouring its ``sanitize`` flag), a
+    concrete :class:`Campaign`, or a :class:`ServiceCampaign`
+    (returning a :class:`ServiceResult`). ``sanitize`` overrides the
+    config's setting when given; ``ulm_path`` writes the ULM event log.
     """
     if isinstance(config, ExperimentConfig):
         if sanitize is None:

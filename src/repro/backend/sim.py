@@ -54,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.host import Host
     from repro.netsim.topology import Network
     from repro.netlogger.daemon import NetLogDaemon
+    from repro.service.cache import RenderCache
     from repro.viewer.sim import SimViewer
 
 
@@ -74,6 +75,9 @@ class BackEndTiming:
     retries: int = 0
     #: hedged duplicate reads issued, across all PEs
     hedges: int = 0
+    #: (rank, frame) slabs served from the shared render cache --
+    #: each one skipped its DPSS read and its render leg entirely
+    cache_hits: int = 0
 
     @property
     def load_throughput(self) -> float:
@@ -105,6 +109,12 @@ class SimBackEnd:
         #: all run-mode knobs live here; see
         #: :class:`~repro.config.BackendConfig` for field semantics
         config: Optional[BackendConfig] = None,
+        #: shared render cache (repro.service); a hit skips both the
+        #: DPSS read and the render leg for that (rank, frame) slab
+        render_cache: Optional["RenderCache"] = None,
+        #: session label for multi-session runs; prefixes the NetLogger
+        #: prog ("s3/backend-0") so per-session lifelines stay distinct
+        session: Optional[str] = None,
         # -- deprecated knob-per-kwarg spelling (one release of grace) --
         n_timesteps: Optional[int] = _UNSET,
         overlapped: bool = _UNSET,
@@ -201,6 +211,16 @@ class SimBackEnd:
                 raise ValueError(
                     "mpi_only_overlap pairs ranks; need an even PE count"
                 )
+            if render_cache is not None:
+                raise ValueError(
+                    "the shared render cache is not supported with the "
+                    "rejected MPI-only overlap mode"
+                )
+        self.render_cache = render_cache
+        self.session = session
+        #: (rank, frame) -> cache-claim outcome passed from the load
+        #: stage to the render stage in overlapped mode
+        self._slab_status: Dict[Tuple[int, int], str] = {}
         if self.config.interconnect_rate <= 0:
             raise ValueError("interconnect_rate must be > 0")
         self.interconnect_rate = float(self.config.interconnect_rate)
@@ -242,10 +262,11 @@ class SimBackEnd:
         # first n_pes children are unchanged by the wider spawn.
         self._rngs = spawn_rngs(self.seed, 2 * self.n_pes)
         self._barrier = SimBarrier(network.env, self.n_render_pes)
+        prog_prefix = f"{session}/" if session else ""
         self._loggers = [
             NetLogger(
                 host.name,
-                f"backend-{rank}",
+                f"{prog_prefix}backend-{rank}",
                 clock=lambda: network.env.now,
                 daemon=daemon,
             )
@@ -280,6 +301,23 @@ class SimBackEnd:
     def render_cpu_seconds(self, rank: int) -> float:
         """Reference-CPU seconds to render one slab."""
         return self.render_cost.cpu_seconds(self.subvolumes[rank].n_voxels)
+
+    def cache_key(self, rank: int, frame: int) -> Tuple:
+        """Shared-render-cache key: (dataset, timestep, axis, slab).
+
+        The slab component is its (offset, extent) along the
+        decomposition axis, so back ends with different PE counts
+        never alias each other's textures.
+        """
+        axis = self.config.axis
+        sub = self.subvolumes[rank]
+        return (
+            self.dataset_name,
+            frame,
+            axis,
+            sub.lo[axis],
+            sub.shape[axis],
+        )
 
     # -- execution ---------------------------------------------------------
     def run(self):
@@ -421,6 +459,59 @@ class SimBackEnd:
         log.log(Tags.BE_HEAVY_END, frame=frame, rank=rank)
         self.timing.bytes_sent_to_viewer += nbytes + self.viewer.light_bytes
 
+    def _acquire_slab(self, rank: int, client, handle, frame: int,
+                      log: NetLogger):
+        """The load leg, via the shared render cache when present.
+
+        Returns the slab's status: ``"miss"`` (no cache configured;
+        plain load happened), ``"hit"`` (texture served from cache,
+        load *and* render are skipped), ``"lead"`` (this PE loaded and
+        must render + publish), or ``"degraded"`` (the load came up
+        short; the claim was abandoned and nothing may be cached).
+        """
+        cache = self.render_cache
+        if cache is None:
+            yield from self._load(rank, client, handle, frame, log)
+            return "miss"
+        key = self.cache_key(rank, frame)
+        fields = dict(frame=frame, rank=rank)
+        if self.session is not None:
+            fields["session"] = self.session
+        while True:
+            claim = cache.begin(key, **fields)
+            if claim.status == "hit":
+                self.timing.cache_hits += 1
+                return "hit"
+            if claim.status == "wait":
+                published = yield claim.event
+                if published:
+                    self.timing.cache_hits += 1
+                    return "hit"
+                continue
+            yield from self._load(rank, client, handle, frame, log)
+            if self._degraded.get((rank, frame), 0.0) > 0.0:
+                # Fault-plan interaction rule: a slab whose read gave
+                # up on bytes never enters the cache.
+                cache.abandon(key, **fields)
+                return "degraded"
+            return "lead"
+
+    def _finish_slab(self, rank: int, frame: int, log: NetLogger,
+                     status: str):
+        """The render leg for one acquired slab; publishes lead renders."""
+        if status == "hit":
+            return
+        yield from self._render(rank, frame, log)
+        if status == "lead" and self.render_cache is not None:
+            fields = dict(frame=frame, rank=rank)
+            if self.session is not None:
+                fields["session"] = self.session
+            self.render_cache.publish(
+                self.cache_key(rank, frame),
+                self.texture_bytes(rank),
+                **fields,
+            )
+
     def _pe_serial(self, rank: int):
         """Figure 18's serial loop: load, render, send, barrier."""
         log = self._loggers[rank]
@@ -428,10 +519,12 @@ class SimBackEnd:
         handle = yield open_ev
         for frame in range(self.n_timesteps):
             log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
-            yield self.network.env.process(
-                self._load(rank, client, handle, frame, log)
+            status = yield self.network.env.process(
+                self._acquire_slab(rank, client, handle, frame, log)
             )
-            yield self.network.env.process(self._render(rank, frame, log))
+            yield self.network.env.process(
+                self._finish_slab(rank, frame, log, status)
+            )
             yield self.network.env.process(
                 self._send_results(rank, frame, log)
             )
@@ -467,7 +560,8 @@ class SimBackEnd:
 
         def render_work(frame: int):
             log.log(Tags.BE_FRAME_START, frame=frame, rank=rank)
-            yield from self._render(rank, frame, log)
+            status = self._slab_status.pop((rank, frame), "miss")
+            yield from self._finish_slab(rank, frame, log, status)
             return frame
 
         def send_work(frame: int):
@@ -493,7 +587,10 @@ class SimBackEnd:
         handle = yield open_ev
 
         def load(frame: int):
-            yield from self._load(rank, client, handle, frame, log)
+            status = yield from self._acquire_slab(
+                rank, client, handle, frame, log
+            )
+            self._slab_status[(rank, frame)] = status
 
         pipe = self._frame_pipeline(rank, log, load)
         summary = yield pipe.run()

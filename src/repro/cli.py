@@ -6,6 +6,7 @@ Installed as the ``visapult`` console script::
     visapult campaign lan_e4500 --overlapped --nlv
     visapult campaign lan_e4500 --scaled --sanitize
     visapult campaign --faults examples/plans/sc99_flaky.json --sanitize
+    visapult serve-sim sc99-multiviewer --viewers 6 --scaled
     visapult lint
     visapult iperf --wan esnet --streams 8
     visapult artifacts --angles 0 16 45
@@ -77,6 +78,53 @@ def cmd_campaign(args) -> int:
         print(report.summary())
         if not report.clean:
             return 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.core import named_campaign, run_campaign
+    from repro.service import CacheConfig, ServiceCampaign
+
+    try:
+        config = named_campaign(args.name)
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try 'visapult list'", file=sys.stderr)
+        return 2
+    if not isinstance(config, ServiceCampaign):
+        print(
+            f"{args.name!r} is a single-session campaign; "
+            "use 'visapult campaign'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.viewers is not None:
+        config = config.with_changes(
+            workload=config.workload.with_changes(n_viewers=args.viewers)
+        )
+    if args.frames is not None:
+        config = config.with_changes(
+            base=config.base.with_changes(n_timesteps=args.frames)
+        )
+    if args.scaled:
+        frames = args.frames or config.base.n_timesteps
+        config = config.with_changes(
+            base=config.base.with_changes(
+                shape=(160, 64, 64), dataset_timesteps=max(frames, 8)
+            )
+        )
+    if args.no_cache:
+        config = config.with_changes(cache=CacheConfig(enabled=False))
+    if args.seed is not None:
+        config = config.with_changes(seed=args.seed)
+    result = run_campaign(config, ulm_path=args.ulm)
+    print(result.summary())
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.service.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"service metrics -> {args.json}")
     return 0
 
 
@@ -219,6 +267,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="run with the concurrency sanitizer attached")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve-sim", help="run a multi-viewer service campaign"
+    )
+    p.add_argument("name", nargs="?", default="sc99-multiviewer",
+                   help="service campaign name (default: sc99-multiviewer)")
+    p.add_argument("--viewers", type=int, default=None,
+                   help="override the workload's viewer count")
+    p.add_argument("--frames", type=int, default=None,
+                   help="timesteps each session watches")
+    p.add_argument("--scaled", action="store_true",
+                   help="shrink the dataset for a fast demo")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shared render cache")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the service run's random seed")
+    p.add_argument("--ulm", default=None, metavar="PATH",
+                   help="write the run's ULM event log to this file")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write service metrics as JSON to this file")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "lint", help="check project invariants (VIS1xx rules)"

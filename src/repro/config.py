@@ -51,11 +51,19 @@ class NetworkConfig:
     ``policy`` enables client-side fault tolerance (timeouts, retries,
     hedged reads) on DPSS reads; ``None`` keeps the historical
     fail-fast behaviour, bit-identical to before the policy existed.
+
+    ``reserved_rate`` is a QoS bandwidth floor (bytes/s) applied to
+    every transfer this endpoint initiates: it becomes the
+    :class:`~repro.simcore.fluid.FluidTask` floor that
+    :func:`repro.simcore.fairshare.max_min_allocation` honours in its
+    phase-1 grants. The serving layer uses it to express fair-share
+    weights across admitted sessions; 0 keeps plain max-min sharing.
     """
 
     tcp: TcpParams = field(default_factory=TcpParams)
     compression: Optional[CompressionModel] = None
     policy: Optional[RequestPolicy] = None
+    reserved_rate: float = 0.0
 
     def with_changes(self, **changes: Any) -> "NetworkConfig":
         """A copy with the given fields replaced."""
@@ -176,6 +184,30 @@ class ExperimentConfig:
         from repro.core.campaign import named_campaign
 
         config = named_campaign(self.campaign, overlapped=self.overlapped)
+        if not hasattr(config, "n_timesteps"):
+            # A service campaign: the single-session knobs apply to its
+            # base config, the seed to the service run as a whole.
+            base_changes: Dict[str, Any] = {}
+            if self.frames is not None:
+                base_changes["n_timesteps"] = self.frames
+            if self.scaled:
+                base_changes["shape"] = (160, 64, 64)
+                base_changes["dataset_timesteps"] = max(
+                    self.frames if self.frames is not None
+                    else config.base.n_timesteps,
+                    8,
+                )
+            if self.faults is not None:
+                base_changes["faults"] = self.faults
+            if self.policy is not None:
+                base_changes["policy"] = self.policy
+            if base_changes:
+                config = config.with_changes(
+                    base=config.base.with_changes(**base_changes)
+                )
+            if self.seed is not None:
+                config = config.with_changes(seed=self.seed)
+            return config
         changes: Dict[str, Any] = {}
         frames = self.frames if self.frames is not None else config.n_timesteps
         if self.frames is not None:

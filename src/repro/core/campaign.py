@@ -185,8 +185,20 @@ class CampaignConfig:
         return replace(self, **kw)
 
 
-#: The runnable campaign registry: name -> factory(overlapped).
-_NAMED_CAMPAIGNS: Dict[str, Callable[[bool], CampaignConfig]] = {
+def _sc99_multiviewer_factory(overlapped: bool):
+    # Lazy: repro.service imports this module for CampaignConfig.
+    from repro.service.manager import ServiceCampaign
+
+    return ServiceCampaign.sc99_multiviewer()
+
+
+#: The runnable campaign registry: name -> factory(overlapped). Most
+#: entries yield a :class:`CampaignConfig`; service entries yield a
+#: :class:`repro.service.ServiceCampaign` (run via
+#: :func:`repro.service.run_service_campaign`, which
+#: :func:`run_campaign` dispatches to automatically).
+_NAMED_CAMPAIGNS: Dict[str, Callable[[bool], object]] = {
+    "sc99-multiviewer": _sc99_multiviewer_factory,
     "lan_e4500": lambda ov: CampaignConfig.lan_e4500(overlapped=ov),
     "nton_cplant4": lambda ov: CampaignConfig.nton_cplant(
         n_pes=4, overlapped=ov
@@ -205,12 +217,14 @@ def campaign_names() -> List[str]:
     return sorted(_NAMED_CAMPAIGNS)
 
 
-def named_campaign(name: str, *, overlapped: bool = False) -> CampaignConfig:
+def named_campaign(name: str, *, overlapped: bool = False):
     """Resolve a campaign by its registry name.
 
-    Raises :class:`KeyError` for unknown names; ``overlapped`` is
-    ignored by campaigns that do not support the distinction
-    (the SC99 demos).
+    Returns a :class:`CampaignConfig`, or a
+    :class:`repro.service.ServiceCampaign` for the multi-viewer
+    service entries. Raises :class:`KeyError` for unknown names;
+    ``overlapped`` is ignored by campaigns that do not support the
+    distinction (the SC99 demos and service campaigns).
     """
     try:
         factory = _NAMED_CAMPAIGNS[name]
@@ -389,7 +403,19 @@ def run_campaign(
     in ``result.sanitizer_findings`` plus ``SAN_*`` daemon events.
     ``ulm_path`` writes the daemon's time-sorted ULM event stream to a
     file after the run (before any ``SAN_*`` events are reduced in).
+
+    A :class:`repro.service.ServiceCampaign` (as returned by
+    :func:`named_campaign` for the multi-viewer entries) dispatches to
+    :func:`repro.service.run_service_campaign` and returns its
+    :class:`repro.service.ServiceResult` (a :class:`CampaignResult`
+    subclass).
     """
+    from repro.service.manager import ServiceCampaign, run_service_campaign
+
+    if isinstance(config, ServiceCampaign):
+        return run_service_campaign(
+            config, sanitize=sanitize, ulm_path=ulm_path
+        )
     net, backend, viewer, daemon = build_session(config)
     sanitizer = None
     if sanitize:

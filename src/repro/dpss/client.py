@@ -186,13 +186,15 @@ class DpssClient:
                 if direction == "read"
                 else (self.host_name, server.host.name)
             )
-            self._server_conns[key] = TcpConnection(
+            conn = TcpConnection(
                 self.network,
                 src,
                 dst,
                 self.tcp_params,
                 extra_usage={server.disks: 1.0},
             )
+            conn.reserved_rate = self.config.reserved_rate
+            self._server_conns[key] = conn
         return self._server_conns[key]
 
     def _lease_connection(self, server_name: str) -> TcpConnection:
@@ -215,6 +217,7 @@ class DpssClient:
             self.tcp_params,
             extra_usage={server.disks: 1.0},
         )
+        conn.reserved_rate = self.config.reserved_rate
         pool.append(conn)
         self._leased.add(conn)
         return conn

@@ -73,10 +73,31 @@ class Tags:
     BE_HEAVY_SKIP = "BE_HEAVY_SKIP"
     V_SLAB_MISSING = "V_SLAB_MISSING"
 
+    # -- multi-viewer serving layer (repro.service): one lifeline per
+    # session from arrival through admission control to completion ----
+    SVC_ARRIVAL = "SVC_ARRIVAL"
+    SVC_QUEUE = "SVC_QUEUE"
+    SVC_ADMIT = "SVC_ADMIT"
+    SVC_REJECT = "SVC_REJECT"
+    SVC_START = "SVC_START"
+    SVC_END = "SVC_END"
+
+    # -- shared render cache (repro.service.cache): lookup outcomes and
+    # LRU bookkeeping, keyed (dataset, timestep, axis, slab) -----------
+    CACHE_HIT = "CACHE_HIT"
+    CACHE_MISS = "CACHE_MISS"
+    CACHE_WAIT = "CACHE_WAIT"
+    CACHE_INSERT = "CACHE_INSERT"
+    CACHE_EVICT = "CACHE_EVICT"
+    CACHE_ABANDON = "CACHE_ABANDON"
+
 
 #: the prefixes a tag may legally carry; ``visapult lint`` enforces
 #: that every declared tag and every literal event name matches.
-TAG_PREFIXES = ("BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_")
+TAG_PREFIXES = (
+    "BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_",
+    "SVC_", "CACHE_",
+)
 
 
 def declared_tags() -> frozenset:
@@ -108,6 +129,24 @@ VIEWER_TAGS = (
     Tags.V_HEAVYPAYLOAD_START,
     Tags.V_HEAVYPAYLOAD_END,
     Tags.V_FRAME_END,
+)
+
+SERVICE_TAGS = (
+    Tags.SVC_ARRIVAL,
+    Tags.SVC_QUEUE,
+    Tags.SVC_ADMIT,
+    Tags.SVC_REJECT,
+    Tags.SVC_START,
+    Tags.SVC_END,
+)
+
+CACHE_TAGS = (
+    Tags.CACHE_HIT,
+    Tags.CACHE_MISS,
+    Tags.CACHE_WAIT,
+    Tags.CACHE_INSERT,
+    Tags.CACHE_EVICT,
+    Tags.CACHE_ABANDON,
 )
 
 

@@ -14,7 +14,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.netlogger.analysis import EventLog
-from repro.netlogger.events import BACKEND_TAGS, VIEWER_TAGS
+from repro.netlogger.events import (
+    BACKEND_TAGS,
+    CACHE_TAGS,
+    SERVICE_TAGS,
+    VIEWER_TAGS,
+)
 
 
 def lifeline_plot(
@@ -35,8 +40,15 @@ def lifeline_plot(
         raise ValueError("width must be >= 20")
     if tags is None:
         present = {ev.event for ev in log.events}
-        tags = [t for t in (VIEWER_TAGS[::-1] + BACKEND_TAGS[::-1]) if t in present]
-        tags = list(tags)
+        # Service/cache lanes sit above the per-session pipeline lanes,
+        # mirroring how admission happens "above" the data path.
+        lanes = (
+            SERVICE_TAGS[::-1]
+            + CACHE_TAGS[::-1]
+            + VIEWER_TAGS[::-1]
+            + BACKEND_TAGS[::-1]
+        )
+        tags = [t for t in lanes if t in present]
     if not log.events or not tags:
         return "(empty log)"
 

@@ -1,0 +1,43 @@
+"""Multi-viewer serving layer: sessions, admission, shared caches.
+
+The paper ran one viewer against one back end; this package runs many.
+A :class:`SessionManager` multiplexes concurrent viewer sessions over a
+shared back-end PE pool and a shared DPSS site, applying an
+:class:`AdmissionPolicy` (session cap + FIFO queue, token bucket on
+aggregate bandwidth, fair-share QoS floors), while a shared
+:class:`RenderCache` lets one session's finished slab textures serve
+the next session's identical requests -- skipping both the DPSS read
+and the render leg. Workloads are seeded and deterministic
+(:class:`WorkloadSpec`); results aggregate into a
+:class:`ServiceResult` carrying :class:`ServiceMetrics` (admission
+latency, time-to-first-frame, sustained frame rates, cache hit ratio,
+p50/p95/p99 tails).
+"""
+
+from repro.service.admission import AdmissionPolicy, TokenBucket
+from repro.service.cache import CacheConfig, CacheStats, RenderCache
+from repro.service.manager import (
+    ServiceCampaign,
+    ServiceResult,
+    SessionManager,
+    run_service_campaign,
+)
+from repro.service.metrics import ServiceMetrics, SessionRecord, percentile
+from repro.service.workload import ViewerProfile, WorkloadSpec
+
+__all__ = [
+    "AdmissionPolicy",
+    "CacheConfig",
+    "CacheStats",
+    "RenderCache",
+    "ServiceCampaign",
+    "ServiceMetrics",
+    "ServiceResult",
+    "SessionManager",
+    "SessionRecord",
+    "TokenBucket",
+    "ViewerProfile",
+    "WorkloadSpec",
+    "percentile",
+    "run_service_campaign",
+]

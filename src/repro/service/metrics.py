@@ -1,0 +1,184 @@
+"""Service-level metrics: per-session records and their aggregation.
+
+The serving layer measures what a capacity planner would ask of a
+multi-user Visapult deployment (the ROADMAP's production-scale
+service): admission latency, time-to-first-frame, sustained frame
+rate per session, cache effectiveness, and tail percentiles across
+sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.util.units import fmt_seconds
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class SessionRecord:
+    """One viewer session's lifecycle timestamps and outcome."""
+
+    session: int
+    profile: str
+    arrival: float
+    weight: float = 1.0
+    admitted: Optional[float] = None
+    started: Optional[float] = None
+    ended: Optional[float] = None
+    #: sim time the first fully-assembled frame landed in the scene
+    first_frame: Optional[float] = None
+    #: frames fully delivered to this session's viewer
+    frames: int = 0
+    rejected: bool = False
+    reject_reason: str = ""
+
+    @property
+    def admission_latency(self) -> Optional[float]:
+        """Arrival to admission; ``None`` for rejected sessions."""
+        if self.admitted is None:
+            return None
+        return self.admitted - self.arrival
+
+    @property
+    def ttff(self) -> Optional[float]:
+        """Arrival to first complete frame (time-to-first-frame)."""
+        if self.first_frame is None:
+            return None
+        return self.first_frame - self.arrival
+
+    @property
+    def frame_rate(self) -> float:
+        """Sustained frames/s over the session's active span."""
+        if self.started is None or self.ended is None:
+            return 0.0
+        active = self.ended - self.started
+        return self.frames / active if active > 0 else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregates over every offered session of a service campaign."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    queued: int = 0
+    total_time: float = 0.0
+    frames_delivered: int = 0
+    #: frames_delivered over the campaign makespan
+    aggregate_frame_rate: float = 0.0
+    #: completed sessions over the campaign makespan
+    sessions_per_second: float = 0.0
+    cache_hit_ratio: float = 0.0
+    mean_session_frame_rate: float = 0.0
+    admission_p50: float = 0.0
+    admission_p95: float = 0.0
+    admission_p99: float = 0.0
+    ttff_p50: float = 0.0
+    ttff_p95: float = 0.0
+    ttff_p99: float = 0.0
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[SessionRecord],
+        *,
+        total_time: float,
+        cache_hit_ratio: float = 0.0,
+    ) -> "ServiceMetrics":
+        """Reduce session records into service-level aggregates."""
+        admitted = [r for r in records if r.admitted is not None]
+        completed = [r for r in admitted if r.ended is not None]
+        lat = [
+            r.admission_latency for r in admitted
+            if r.admission_latency is not None
+        ]
+        ttff = [r.ttff for r in records if r.ttff is not None]
+        frames = sum(r.frames for r in records)
+        rates = [r.frame_rate for r in completed]
+        return cls(
+            offered=len(records),
+            admitted=len(admitted),
+            rejected=sum(1 for r in records if r.rejected),
+            completed=len(completed),
+            queued=sum(
+                1 for r in admitted
+                if (r.admission_latency or 0.0) > 0.0
+            ),
+            total_time=total_time,
+            frames_delivered=frames,
+            aggregate_frame_rate=(
+                frames / total_time if total_time > 0 else 0.0
+            ),
+            sessions_per_second=(
+                len(completed) / total_time if total_time > 0 else 0.0
+            ),
+            cache_hit_ratio=cache_hit_ratio,
+            mean_session_frame_rate=(
+                float(np.mean(rates)) if rates else 0.0
+            ),
+            admission_p50=percentile(lat, 50),
+            admission_p95=percentile(lat, 95),
+            admission_p99=percentile(lat, 99),
+            ttff_p50=percentile(ttff, 50),
+            ttff_p95=percentile(ttff, 95),
+            ttff_p99=percentile(ttff, 99),
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready form (the CI benchmark artifact)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "total_time": self.total_time,
+            "frames_delivered": self.frames_delivered,
+            "aggregate_frame_rate": self.aggregate_frame_rate,
+            "sessions_per_second": self.sessions_per_second,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "mean_session_frame_rate": self.mean_session_frame_rate,
+            "admission_p50": self.admission_p50,
+            "admission_p95": self.admission_p95,
+            "admission_p99": self.admission_p99,
+            "ttff_p50": self.ttff_p50,
+            "ttff_p95": self.ttff_p95,
+            "ttff_p99": self.ttff_p99,
+        }
+
+    def summary(self) -> str:
+        """A human-readable service block."""
+        return "\n".join([
+            f"  sessions          : {self.completed} completed / "
+            f"{self.admitted} admitted / {self.rejected} rejected "
+            f"of {self.offered} offered",
+            f"  admission latency : p50 {fmt_seconds(self.admission_p50)}"
+            f"  p95 {fmt_seconds(self.admission_p95)}"
+            f"  p99 {fmt_seconds(self.admission_p99)}",
+            f"  time-to-frame     : p50 {fmt_seconds(self.ttff_p50)}"
+            f"  p95 {fmt_seconds(self.ttff_p95)}"
+            f"  p99 {fmt_seconds(self.ttff_p99)}",
+            f"  frame delivery    : {self.frames_delivered} frames, "
+            f"{self.aggregate_frame_rate:.3f} frames/s aggregate, "
+            f"{self.mean_session_frame_rate:.3f} frames/s/session",
+            f"  cache hit ratio   : {self.cache_hit_ratio:.0%}",
+        ])
+
+
+#: re-exported for the package facade
+__all__ = [
+    "SessionRecord",
+    "ServiceMetrics",
+    "percentile",
+]

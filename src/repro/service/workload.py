@@ -1,0 +1,115 @@
+"""Seeded viewer workloads: who shows up, when, over which WAN.
+
+Two arrival disciplines:
+
+- **open loop** ("open"): a Poisson process -- the first viewer
+  arrives at t=0 (so a single-viewer workload reproduces the plain
+  single-session campaign exactly) and subsequent inter-arrival gaps
+  are exponential with mean ``1 / arrival_rate``. Arrivals do not wait
+  for earlier sessions; pressure on admission control is external.
+- **closed loop** ("closed"): ``n_viewers`` viewers each run
+  ``requests_per_viewer`` sessions back to back, thinking an
+  exponential ``think_time`` between them -- the interactive-analyst
+  pattern of the paper's section 5 usage story.
+
+Viewer heterogeneity comes from ``profiles``: each arrival cycles
+through the tuple, picking up that profile's WAN path (a
+:class:`~repro.core.platforms.WanSpec`, or ``None`` for a local
+gigabit LAN hop exactly like the single-session campaign's local
+viewer), fair-share weight, and optional frame-count override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.platforms import WanSpec
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ViewerProfile:
+    """One class of viewer: WAN path, fair-share weight, frames."""
+
+    name: str = "local"
+    #: WAN between the back-end pool and this viewer; ``None`` puts
+    #: the viewer on a local gigabit LAN (the co-located case)
+    wan: Optional[WanSpec] = None
+    #: fair-share weight; multiplied by the policy's
+    #: ``fair_share_rate`` to form the session's bandwidth floor
+    weight: float = 1.0
+    #: timesteps this viewer watches; ``None`` = the campaign default
+    frames: Optional[int] = None
+
+    def __post_init__(self):
+        check_positive("weight", self.weight)
+        if self.frames is not None and self.frames < 1:
+            raise ValueError(f"frames must be >= 1, got {self.frames}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded population of viewers and their arrival discipline."""
+
+    mode: str = "open"
+    n_viewers: int = 1
+    #: open loop: mean arrivals per second
+    arrival_rate: float = 1.0
+    #: closed loop: mean seconds between a viewer's sessions
+    think_time: float = 1.0
+    #: closed loop: sessions each viewer runs
+    requests_per_viewer: int = 1
+    profiles: Tuple[ViewerProfile, ...] = (ViewerProfile(),)
+
+    def __post_init__(self):
+        if self.mode not in ("open", "closed"):
+            raise ValueError(
+                f"mode must be 'open' or 'closed', got {self.mode!r}"
+            )
+        check_non_negative("n_viewers", self.n_viewers)
+        check_positive("arrival_rate", self.arrival_rate)
+        check_non_negative("think_time", self.think_time)
+        if self.requests_per_viewer < 1:
+            raise ValueError(
+                f"requests_per_viewer must be >= 1, "
+                f"got {self.requests_per_viewer}"
+            )
+        if not self.profiles:
+            raise ValueError("profiles must not be empty")
+
+    def with_changes(self, **changes: Any) -> "WorkloadSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def total_sessions(self) -> int:
+        """Sessions this workload offers over its lifetime."""
+        if self.mode == "open":
+            return self.n_viewers
+        return self.n_viewers * self.requests_per_viewer
+
+    def profile_of(self, index: int) -> ViewerProfile:
+        """The profile the ``index``-th viewer (or session) uses."""
+        return self.profiles[index % len(self.profiles)]
+
+    def arrivals(
+        self, rng: np.random.Generator
+    ) -> List[Tuple[float, ViewerProfile]]:
+        """Open-loop arrival schedule: (time, profile) pairs, sorted.
+
+        The first arrival is pinned to t=0; the remaining gaps are
+        exponential draws from ``rng``, so the whole schedule is a
+        pure function of (spec, seed).
+        """
+        if self.mode != "open":
+            raise ValueError("arrivals() applies to open-loop workloads")
+        out: List[Tuple[float, ViewerProfile]] = []
+        t = 0.0
+        for i in range(self.n_viewers):
+            if i > 0:
+                t += float(rng.exponential(1.0 / self.arrival_rate))
+            out.append((t, self.profile_of(i)))
+        return out

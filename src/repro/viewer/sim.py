@@ -126,6 +126,10 @@ class SimViewer:
         self.scene_updates = 0
         self.bytes_received = 0.0
         self.frames_completed: Dict[int, Set[int]] = {}
+        #: frame -> sim time its last registered PE's texture (or
+        #: recorded hole) landed in the scene; the serving layer reads
+        #: time-to-first-frame and sustained frame rate off this
+        self.frame_complete_times: Dict[int, float] = {}
         #: (rank, frame) pairs whose texture never arrived; the scene
         #: keeps the slab's previous texture (or a hole on frame 0)
         self.missing_slabs: Set[Tuple[int, int]] = set()
@@ -149,9 +153,11 @@ class SimViewer:
         if rank in self._conns:
             raise ValueError(f"rank {rank} already registered")
         self._pe_hosts[rank] = host_name
-        self._conns[rank] = TcpConnection(
+        conn = TcpConnection(
             self.network, host_name, self.host_name, self.tcp_params
         )
+        conn.reserved_rate = self.config.reserved_rate
+        self._conns[rank] = conn
         inbox = self._pipeline.buffer(None, name=f"inbox[{rank}]")
         self._inboxes[rank] = inbox
         self._pipeline.stage(
@@ -236,7 +242,10 @@ class SimViewer:
         """The render thread's ingest: swap a texture into the scene."""
         req, stats = item
         self.scene_updates += 1
-        self.frames_completed.setdefault(req.frame, set()).add(req.rank)
+        ranks = self.frames_completed.setdefault(req.frame, set())
+        ranks.add(req.rank)
+        if len(ranks) >= len(self._conns):
+            self.frame_complete_times[req.frame] = self.network.env.now
         self.logger.log(Tags.V_FRAME_END, frame=req.frame, rank=req.rank)
         req.done.succeed(stats)
         return DROP

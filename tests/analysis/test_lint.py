@@ -121,6 +121,7 @@ def test_sim_only_package_list_matches_issue():
         "backend",
         "viewer",
         "faults",
+        "service",
     }
 
 

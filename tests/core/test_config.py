@@ -126,6 +126,7 @@ class TestCampaignRegistry:
             "lan_e4500",
             "nton_cplant4",
             "nton_cplant8",
+            "sc99-multiviewer",
             "sc99_cosmology",
             "sc99_showfloor",
         ]

@@ -1,0 +1,125 @@
+"""Unit tests for the shared render cache: LRU budget, coalescing."""
+
+from repro.service import CacheConfig, RenderCache
+from repro.simcore import Environment
+
+
+def make_cache(capacity):
+    env = Environment()
+    return env, RenderCache(env, CacheConfig(capacity_bytes=capacity))
+
+
+class TestLruBudget:
+    def test_exactly_full_budget_does_not_evict(self):
+        """Entries summing to exactly the capacity all stay resident."""
+        _, cache = make_cache(100.0)
+        for i in range(4):
+            cache.begin(("d", i))
+            cache.publish(("d", i), 25.0)
+        assert len(cache) == 4
+        assert cache.stats.evictions == 0
+        assert cache.stats.bytes_cached == 100.0
+
+    def test_one_byte_over_evicts_lru_until_within_budget(self):
+        _, cache = make_cache(100.0)
+        for i in range(4):
+            cache.begin(("d", i))
+            cache.publish(("d", i), 25.0)
+        cache.begin(("d", 4))
+        cache.publish(("d", 4), 26.0)  # 126 resident: two LRUs must go
+        assert cache.stats.evictions == 2
+        assert ("d", 0) not in cache and ("d", 1) not in cache
+        assert ("d", 2) in cache and ("d", 4) in cache
+        assert cache.stats.bytes_cached == 76.0
+
+    def test_hit_refreshes_lru_position(self):
+        _, cache = make_cache(50.0)
+        for i in range(2):
+            cache.begin(("d", i))
+            cache.publish(("d", i), 25.0)
+        assert cache.begin(("d", 0)).status == "hit"  # 0 is now MRU
+        cache.begin(("d", 2))
+        cache.publish(("d", 2), 25.0)
+        assert ("d", 0) in cache
+        assert ("d", 1) not in cache
+
+    def test_oversized_entry_served_but_not_retained(self):
+        _, cache = make_cache(100.0)
+        cache.begin(("big",))
+        cache.publish(("big",), 1000.0)
+        assert ("big",) not in cache
+        assert cache.stats.inserts == 0
+        assert cache.stats.evictions == 0
+        assert cache.stats.bytes_cached == 0.0
+
+    def test_publish_never_evicts_the_new_entry(self):
+        _, cache = make_cache(100.0)
+        cache.begin(("a",))
+        cache.publish(("a",), 60.0)
+        cache.begin(("b",))
+        cache.publish(("b",), 90.0)
+        assert ("b",) in cache and ("a",) not in cache
+
+
+class TestCoalescing:
+    def test_waiters_coalesce_behind_the_leader(self):
+        env, cache = make_cache(100.0)
+        outcomes = []
+
+        def leader():
+            claim = cache.begin(("k",))
+            assert claim.status == "lead"
+            yield env.timeout(1.0)  # the load + render
+            cache.publish(("k",), 10.0)
+            outcomes.append("published")
+
+        def waiter():
+            claim = cache.begin(("k",))
+            assert claim.status == "wait"
+            served = yield claim.event
+            outcomes.append(served)
+
+        env.process(leader())
+        env.process(waiter())
+        env.process(waiter())
+        env.run()
+        assert outcomes == ["published", True, True]
+        # leader missed; both waiters count as hits once served
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced == 2
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_ratio == 2 / 3
+
+    def test_abandon_wakes_waiters_with_false_and_one_retries(self):
+        env, cache = make_cache(100.0)
+        outcomes = []
+
+        def degraded_leader():
+            assert cache.begin(("k",)).status == "lead"
+            yield env.timeout(1.0)
+            cache.abandon(("k",))
+
+        def waiter():
+            claim = cache.begin(("k",))
+            served = yield claim.event
+            assert served is False
+            # retry: the first waiter back in becomes the new leader
+            retry = cache.begin(("k",))
+            outcomes.append(retry.status)
+            if retry.status == "lead":
+                yield env.timeout(1.0)
+                cache.publish(("k",), 10.0)
+
+        env.process(degraded_leader())
+        env.process(waiter())
+        env.process(waiter())
+        env.run()
+        assert sorted(outcomes) == ["lead", "wait"]
+        assert cache.stats.abandons == 1
+        assert ("k",) in cache
+
+    def test_disabled_or_zero_capacity_config_validates(self):
+        _, cache = make_cache(0.0)
+        cache.begin(("k",))
+        cache.publish(("k",), 1.0)  # nothing retained at zero budget
+        assert len(cache) == 0

@@ -43,6 +43,41 @@ class TestCampaign:
         assert "unknown campaign" in capsys.readouterr().err
 
 
+class TestServeSim:
+    def test_scaled_service_run_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_service.json"
+        code = main(
+            ["serve-sim", "sc99-multiviewer", "--scaled", "--frames", "2",
+             "--viewers", "3", "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service campaign sc99-multiviewer" in out
+        assert "cache hit ratio" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["offered"] == 3
+        assert {"aggregate_frame_rate", "cache_hit_ratio",
+                "ttff_p95"} <= payload.keys()
+
+    def test_no_cache_flag(self, capsys):
+        code = main(
+            ["serve-sim", "--scaled", "--frames", "2", "--viewers", "2",
+             "--no-cache"]
+        )
+        assert code == 0
+        assert "0 hits" in capsys.readouterr().out
+
+    def test_single_session_campaign_is_refused(self, capsys):
+        assert main(["serve-sim", "lan_e4500"]) == 2
+        assert "single-session" in capsys.readouterr().err
+
+    def test_unknown_name(self, capsys):
+        assert main(["serve-sim", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+
 class TestIperf:
     def test_esnet_single_stream(self, capsys):
         assert main(["iperf", "--wan", "esnet", "--megabytes", "50"]) == 0

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.protocol",
     "repro.mpc",
     "repro.backend",
+    "repro.service",
     "repro.viewer",
     "repro.core",
     "repro.live",
@@ -75,7 +76,9 @@ def test_api_facade_pinned():
     from repro import api
 
     assert sorted(api.__all__) == [
+        "AdmissionPolicy",
         "BackendConfig",
+        "CacheConfig",
         "Campaign",
         "CampaignResult",
         "DpssClient",
@@ -83,12 +86,18 @@ def test_api_facade_pinned():
         "FaultPlan",
         "NetworkConfig",
         "RequestPolicy",
+        "ServiceCampaign",
+        "ServiceMetrics",
+        "ServiceResult",
         "SimBackEnd",
         "SimViewer",
+        "ViewerProfile",
+        "WorkloadSpec",
         "build_session",
         "campaign_names",
         "load_drill",
         "named_campaign",
         "run_campaign",
         "run_experiment",
+        "run_service_campaign",
     ]
