@@ -1,0 +1,5 @@
+"""Allocator wall-clock benchmarks (not pytest-collected).
+
+Run via ``visapult bench`` or ``python benchmarks/perf/bench_fluid.py``;
+``baseline.json`` pins the speedup ratios CI guards against.
+"""

@@ -1,0 +1,22 @@
+"""Standalone runner for the fluid-allocator benchmark suite.
+
+Equivalent to ``visapult bench``; kept here so the perf suite is
+discoverable next to the latency benchmarks. Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fluid.py \
+        --quick --output BENCH_fluid.json --check
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *sys.argv[1:]])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Installed as the ``visapult`` console script::
     visapult campaign lan_e4500 --scaled --sanitize
     visapult campaign --faults examples/plans/sc99_flaky.json --sanitize
     visapult serve-sim sc99-multiviewer --viewers 6 --scaled
+    visapult bench --quick --check
     visapult lint
     visapult iperf --wan esnet --streams 8
     visapult artifacts --angles 0 16 45
@@ -66,7 +67,12 @@ def cmd_campaign(args) -> int:
     except KeyError as exc:
         print(f"{exc.args[0]}; try 'visapult list'", file=sys.stderr)
         return 2
-    result = run_campaign(config, sanitize=args.sanitize, ulm_path=args.ulm)
+    result = run_campaign(
+        config,
+        sanitize=args.sanitize,
+        ulm_path=args.ulm,
+        alloc_stats=args.alloc_stats,
+    )
     print(result.summary())
     if args.nlv:
         print()
@@ -116,7 +122,9 @@ def cmd_serve(args) -> int:
         config = config.with_changes(cache=CacheConfig(enabled=False))
     if args.seed is not None:
         config = config.with_changes(seed=args.seed)
-    result = run_campaign(config, ulm_path=args.ulm)
+    result = run_campaign(
+        config, ulm_path=args.ulm, alloc_stats=args.alloc_stats
+    )
     print(result.summary())
     if args.json is not None:
         import json
@@ -125,6 +133,38 @@ def cmd_serve(args) -> int:
             json.dump(result.service.to_dict(), fh, indent=2)
             fh.write("\n")
         print(f"service metrics -> {args.json}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.core.bench import (
+        check_regression,
+        run_suite,
+        summary,
+        write_results,
+    )
+
+    results = run_suite(quick=args.quick, e2e=not args.no_e2e)
+    print(summary(results))
+    if args.output is not None:
+        write_results(results, args.output)
+        print(f"benchmark results -> {args.output}")
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = check_regression(results, baseline)
+        if failures:
+            print("speedup regressions vs baseline:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.baseline}")
     return 0
 
 
@@ -266,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--sanitize", action="store_true",
                    help="run with the concurrency sanitizer attached")
+    p.add_argument("--alloc-stats", action="store_true",
+                   help="log ALLOC_* allocator-cost events into the ULM")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
@@ -287,7 +329,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the run's ULM event log to this file")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write service metrics as JSON to this file")
+    p.add_argument("--alloc-stats", action="store_true",
+                   help="log ALLOC_* allocator-cost events into the ULM")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench", help="run the allocator performance benchmarks"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads (CI-sized; scaled e2e campaign)")
+    p.add_argument("--no-e2e", action="store_true",
+                   help="skip the end-to-end sc99-multiviewer benchmark")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write results JSON (e.g. BENCH_fluid.json)")
+    p.add_argument("--check", action="store_true",
+                   help="fail if speedups regress >25%% vs the baseline")
+    p.add_argument("--baseline", default="benchmarks/perf/baseline.json",
+                   metavar="PATH",
+                   help="baseline speedups JSON for --check")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "lint", help="check project invariants (VIS1xx rules)"

@@ -1,0 +1,301 @@
+"""Allocator performance benchmarks (the ``visapult bench`` suite).
+
+Three microbenchmarks drive a :class:`~repro.simcore.fluid.FluidScheduler`
+directly with the event mix that dominates real campaigns (TCP-style
+cap churn, transfer completions), once with the incremental
+component-partitioned allocator and once with the fresh-recompute
+oracle (``incremental=False``). The two modes produce bitwise
+identical simulations -- the parity suite pins that -- so the wall
+clock ratio is a pure measure of the allocator hot path:
+
+- ``disjoint_sessions``: >= 8 viewer sessions on disjoint last-mile
+  components, the serving-layer shape incremental allocation targets;
+- ``one_giant_component``: the same flow count coupled through one
+  backbone, the worst case where partitioning cannot help and only
+  spec caching does;
+- ``churn_service``: disjoint sessions with short transfers completing
+  and resubmitting, exercising component-cache invalidation.
+
+The end-to-end benchmark times the ``sc99-multiviewer`` registry
+campaign in both modes. Results land in ``BENCH_fluid.json``;
+``benchmarks/perf/baseline.json`` pins the speedups CI guards against
+(ratios, not absolute seconds, so they are hardware-robust).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.simcore.env import Environment
+from repro.simcore.fluid import FluidResource, FluidScheduler, FluidTask
+
+#: regression gate: measured speedup must stay within this fraction of
+#: the checked-in baseline speedup.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _session_resources(
+    sched: FluidScheduler, session: int, *, backbone: Optional[FluidResource]
+) -> List[FluidResource]:
+    """A last-mile path: source NIC, (optional shared backbone), link, NIC."""
+    path = [
+        sched.add_resource(FluidResource(f"nic-src{session}", 1.25e9)),
+        sched.add_resource(FluidResource(f"last-mile{session}", 5.0e8)),
+        sched.add_resource(FluidResource(f"nic-dst{session}", 1.25e9)),
+    ]
+    if backbone is not None:
+        path.insert(1, backbone)
+    return path
+
+
+def _cap_churner(
+    env: Environment,
+    sched: FluidScheduler,
+    tasks: List[FluidTask],
+    *,
+    ticks: int,
+    dt: float,
+) -> Generator:
+    """TCP-window-style cap churn: one task per tick, sawtooth caps."""
+    for tick in range(ticks):
+        yield env.timeout(dt)
+        task = tasks[tick % len(tasks)]
+        cap = 1.0e6 * float(2 ** (tick % 10))
+        sched.set_cap(task, cap)
+
+
+def bench_disjoint_sessions(
+    incremental: bool, *, n_sessions: int = 8, streams: int = 4,
+    ticks: int = 400,
+) -> float:
+    """Cap churn across ``n_sessions`` disjoint last-mile components."""
+    env = Environment()
+    sched = FluidScheduler(env, incremental=incremental)
+    tasks: List[FluidTask] = []
+    for s in range(n_sessions):
+        path = _session_resources(sched, s, backbone=None)
+        usage = {res: 1.0 for res in path}
+        for k in range(streams):
+            task = FluidTask(f"s{s}w{k}", work=1.0e15, usage=usage)
+            sched.submit(task)
+            tasks.append(task)
+        session_tasks = tasks[-streams:]
+        env.process(
+            _cap_churner(env, sched, session_tasks, ticks=ticks, dt=0.01)
+        )
+    start = time.perf_counter()
+    env.run(until=ticks * 0.01 + 1.0)
+    return time.perf_counter() - start
+
+
+def bench_one_giant_component(
+    incremental: bool, *, n_sessions: int = 8, streams: int = 4,
+    ticks: int = 400,
+) -> float:
+    """The same churn with every session coupled through one backbone."""
+    env = Environment()
+    sched = FluidScheduler(env, incremental=incremental)
+    backbone = sched.add_resource(FluidResource("backbone", 2.5e9))
+    tasks: List[FluidTask] = []
+    for s in range(n_sessions):
+        path = _session_resources(sched, s, backbone=backbone)
+        usage = {res: 1.0 for res in path}
+        for k in range(streams):
+            task = FluidTask(f"s{s}w{k}", work=1.0e15, usage=usage)
+            sched.submit(task)
+            tasks.append(task)
+        session_tasks = tasks[-streams:]
+        env.process(
+            _cap_churner(env, sched, session_tasks, ticks=ticks, dt=0.01)
+        )
+    start = time.perf_counter()
+    env.run(until=ticks * 0.01 + 1.0)
+    return time.perf_counter() - start
+
+
+def bench_churn_service(
+    incremental: bool, *, n_sessions: int = 8, streams: int = 4,
+    transfers: int = 60,
+) -> float:
+    """Short transfers arriving/completing on disjoint components.
+
+    Every completion and resubmission invalidates the component cache,
+    so this measures the allocator under topology churn, not just cap
+    churn.
+    """
+    env = Environment()
+    sched = FluidScheduler(env, incremental=incremental)
+
+    def stream_proc(usage: Dict[FluidResource, float], name: str) -> Generator:
+        for n in range(transfers):
+            task = FluidTask(name, work=2.0e7, usage=usage, cap=1.0e8)
+            yield sched.submit(task)
+            sched.set_cap(task, 0.0)  # harmless post-completion no-op
+            yield env.timeout(0.002)
+
+    for s in range(n_sessions):
+        path = _session_resources(sched, s, backbone=None)
+        usage = {res: 1.0 for res in path}
+        for k in range(streams):
+            env.process(stream_proc(usage, f"c{s}w{k}"))
+    start = time.perf_counter()
+    env.run()
+    return time.perf_counter() - start
+
+
+def bench_e2e_multiviewer(
+    incremental: bool, *, scaled: bool = False
+) -> Dict[str, float]:
+    """Wall-clock the sc99-multiviewer service campaign end to end."""
+    import repro.simcore.fluid as fluid
+    from repro.core.campaign import named_campaign
+    from repro.service.manager import SessionManager
+
+    config = named_campaign("sc99-multiviewer")
+    if scaled:
+        config = config.with_changes(
+            workload=config.workload.with_changes(n_viewers=4),
+            base=config.base.with_changes(
+                n_timesteps=2, shape=(160, 64, 64), dataset_timesteps=8
+            ),
+        )
+    previous = fluid.DEFAULT_INCREMENTAL
+    fluid.DEFAULT_INCREMENTAL = incremental
+    try:
+        manager = SessionManager(config)
+        start = time.perf_counter()
+        done = manager.run()
+        manager.net.run(until=done)
+        wall = time.perf_counter() - start
+    finally:
+        fluid.DEFAULT_INCREMENTAL = previous
+    stats = manager.net.sched.stats
+    return {
+        "wall_s": wall,
+        "sched_events": float(stats.events),
+        "events_per_s": stats.events / wall if wall > 0 else 0.0,
+        "components_solved": float(stats.components_solved),
+        "flows_touched": float(stats.flows_touched),
+        "wakes_scheduled": float(stats.wakes_scheduled),
+        "stale_wakes": float(stats.stale_wakes),
+    }
+
+
+def _pair(bench, **kwargs: Any) -> Dict[str, float]:
+    oracle = bench(False, **kwargs)
+    incremental = bench(True, **kwargs)
+    return {
+        "oracle_s": round(oracle, 4),
+        "incremental_s": round(incremental, 4),
+        "speedup": round(oracle / incremental, 3) if incremental > 0 else 0.0,
+    }
+
+
+def run_suite(*, quick: bool = False, e2e: bool = True) -> Dict[str, Any]:
+    """Run the full benchmark suite; returns the BENCH_fluid payload."""
+    micro_kwargs: Dict[str, Any] = (
+        {"n_sessions": 8, "streams": 2, "ticks": 120}
+        if quick
+        else {"n_sessions": 8, "streams": 4, "ticks": 400}
+    )
+    churn_kwargs: Dict[str, Any] = (
+        {"n_sessions": 8, "streams": 2, "transfers": 20}
+        if quick
+        else {"n_sessions": 8, "streams": 4, "transfers": 60}
+    )
+    results: Dict[str, Any] = {
+        "suite": "fluid-allocator",
+        "quick": quick,
+        "benchmarks": {
+            "disjoint_sessions": {
+                **micro_kwargs,
+                **_pair(bench_disjoint_sessions, **micro_kwargs),
+            },
+            "one_giant_component": {
+                **micro_kwargs,
+                **_pair(bench_one_giant_component, **micro_kwargs),
+            },
+            "churn_service": {
+                **churn_kwargs,
+                **_pair(bench_churn_service, **churn_kwargs),
+            },
+        },
+    }
+    if e2e:
+        oracle = bench_e2e_multiviewer(False, scaled=quick)
+        incremental = bench_e2e_multiviewer(True, scaled=quick)
+        speedup = (
+            oracle["wall_s"] / incremental["wall_s"]
+            if incremental["wall_s"] > 0
+            else 0.0
+        )
+        results["e2e"] = {
+            "campaign": "sc99-multiviewer",
+            "scaled": quick,
+            "oracle": oracle,
+            "incremental": incremental,
+            "speedup": round(speedup, 3),
+        }
+    return results
+
+
+def _speedups(results: Dict[str, Any]) -> Dict[str, float]:
+    speedups = {
+        name: entry["speedup"]
+        for name, entry in results.get("benchmarks", {}).items()
+    }
+    if "e2e" in results:
+        speedups["e2e"] = results["e2e"]["speedup"]
+    return speedups
+
+
+def check_regression(
+    results: Dict[str, Any],
+    baseline: Dict[str, float],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare measured speedups against the checked-in baseline.
+
+    Returns a list of failure descriptions (empty means no regression
+    beyond ``tolerance``). Baselines are speedup *ratios*, so the gate
+    is insensitive to how fast the host happens to be.
+    """
+    measured = _speedups(results)
+    failures = []
+    for name, floor in baseline.items():
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: no measurement (baseline {floor}x)")
+        elif got < floor * (1.0 - tolerance):
+            failures.append(
+                f"{name}: speedup {got:.2f}x fell more than "
+                f"{tolerance:.0%} below baseline {floor}x"
+            )
+    return failures
+
+
+def write_results(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def summary(results: Dict[str, Any]) -> str:
+    lines = ["allocator benchmarks (oracle -> incremental):"]
+    for name, entry in results.get("benchmarks", {}).items():
+        lines.append(
+            f"  {name:22s} {entry['oracle_s']:8.3f}s -> "
+            f"{entry['incremental_s']:8.3f}s  ({entry['speedup']:.2f}x)"
+        )
+    if "e2e" in results:
+        e2e = results["e2e"]
+        lines.append(
+            f"  {'e2e ' + e2e['campaign']:22s} "
+            f"{e2e['oracle']['wall_s']:8.3f}s -> "
+            f"{e2e['incremental']['wall_s']:8.3f}s  ({e2e['speedup']:.2f}x, "
+            f"{e2e['incremental']['events_per_s']:.0f} sched events/s)"
+        )
+    return "\n".join(lines)

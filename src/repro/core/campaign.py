@@ -392,9 +392,43 @@ def build_session(config: CampaignConfig):
     return net, backend, viewer, daemon
 
 
+def attach_alloc_logger(net, daemon, *, sample_every: int = 200):
+    """Attach ``ALLOC_*`` NetLogger counters to a network's scheduler.
+
+    Samples one :data:`~repro.netlogger.events.Tags.ALLOC_REALLOC`
+    event per ``sample_every`` re-solve batches (the raw stream is one
+    per scheduler event -- far too hot to log). Returns a finalizer
+    that emits the end-of-run ``ALLOC_SUMMARY``; call it after the run,
+    before writing ULM.
+    """
+    from repro.netlogger.events import Tags
+    from repro.netlogger.logger import NetLogger
+
+    logger = NetLogger(
+        "scheduler", "alloc", clock=lambda: net.env.now, daemon=daemon
+    )
+    seen = {"batches": 0}
+
+    def observe(tag: str, data) -> None:
+        seen["batches"] += 1
+        if seen["batches"] % sample_every == 1:
+            logger.log(tag, **data)
+
+    net.sched.alloc_observer = observe
+
+    def finalize() -> None:
+        stats = net.sched.stats.to_dict()
+        logger.log(
+            Tags.ALLOC_SUMMARY,
+            **{key: float(value) for key, value in stats.items()},
+        )
+
+    return finalize
+
+
 def run_campaign(
     config: CampaignConfig, *, sanitize: bool = False,
-    ulm_path: Optional[str] = None,
+    ulm_path: Optional[str] = None, alloc_stats: bool = False,
 ) -> CampaignResult:
     """Build and run a campaign to completion; reduce the results.
 
@@ -403,6 +437,9 @@ def run_campaign(
     in ``result.sanitizer_findings`` plus ``SAN_*`` daemon events.
     ``ulm_path`` writes the daemon's time-sorted ULM event stream to a
     file after the run (before any ``SAN_*`` events are reduced in).
+    ``alloc_stats=True`` adds sampled ``ALLOC_*`` allocator counters
+    and an end-of-run ``ALLOC_SUMMARY`` to the event stream (also a
+    pure observer: sim timings are unchanged).
 
     A :class:`repro.service.ServiceCampaign` (as returned by
     :func:`named_campaign` for the multi-viewer entries) dispatches to
@@ -414,7 +451,8 @@ def run_campaign(
 
     if isinstance(config, ServiceCampaign):
         return run_service_campaign(
-            config, sanitize=sanitize, ulm_path=ulm_path
+            config, sanitize=sanitize, ulm_path=ulm_path,
+            alloc_stats=alloc_stats,
         )
     net, backend, viewer, daemon = build_session(config)
     sanitizer = None
@@ -431,8 +469,13 @@ def run_campaign(
                 daemon=daemon,
             ),
         )
+    finish_alloc = (
+        attach_alloc_logger(net, daemon) if alloc_stats else None
+    )
     done = backend.run()
     net.run(until=done)
+    if finish_alloc is not None:
+        finish_alloc()
     if ulm_path is not None:
         daemon.write_ulm(ulm_path)
     result = CampaignResult.from_run(config, net, backend, viewer, daemon)

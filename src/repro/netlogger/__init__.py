@@ -18,6 +18,7 @@ Visapult uses:
 """
 
 from repro.netlogger.events import (
+    ALLOC_TAGS,
     BACKEND_TAGS,
     TAG_PREFIXES,
     VIEWER_TAGS,
@@ -34,6 +35,7 @@ from repro.netlogger.nlv import lifeline_plot, series_plot, span_gantt
 from repro.netlogger.skew import causality_violations, correct_skew, estimate_offsets
 
 __all__ = [
+    "ALLOC_TAGS",
     "BACKEND_TAGS",
     "TAG_PREFIXES",
     "VIEWER_TAGS",

@@ -91,12 +91,18 @@ class Tags:
     CACHE_EVICT = "CACHE_EVICT"
     CACHE_ABANDON = "CACHE_ABANDON"
 
+    # -- fluid allocator counters (opt-in via --alloc-stats): sampled
+    # re-solve batches plus an end-of-run summary, so NLV can show the
+    # allocator's cost alongside the experiment it paid for ------------
+    ALLOC_REALLOC = "ALLOC_REALLOC"
+    ALLOC_SUMMARY = "ALLOC_SUMMARY"
+
 
 #: the prefixes a tag may legally carry; ``visapult lint`` enforces
 #: that every declared tag and every literal event name matches.
 TAG_PREFIXES = (
     "BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_",
-    "SVC_", "CACHE_",
+    "SVC_", "CACHE_", "ALLOC_",
 )
 
 
@@ -147,6 +153,11 @@ CACHE_TAGS = (
     Tags.CACHE_INSERT,
     Tags.CACHE_EVICT,
     Tags.CACHE_ABANDON,
+)
+
+ALLOC_TAGS = (
+    Tags.ALLOC_REALLOC,
+    Tags.ALLOC_SUMMARY,
 )
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.netlogger.analysis import EventLog
 from repro.netlogger.events import (
+    ALLOC_TAGS,
     BACKEND_TAGS,
     CACHE_TAGS,
     SERVICE_TAGS,
@@ -42,11 +43,14 @@ def lifeline_plot(
         present = {ev.event for ev in log.events}
         # Service/cache lanes sit above the per-session pipeline lanes,
         # mirroring how admission happens "above" the data path.
+        # Allocator-cost lanes sit at the bottom, under the data path
+        # whose events they account for.
         lanes = (
             SERVICE_TAGS[::-1]
             + CACHE_TAGS[::-1]
             + VIEWER_TAGS[::-1]
             + BACKEND_TAGS[::-1]
+            + ALLOC_TAGS[::-1]
         )
         tags = [t for t in lanes if t in present]
     if not log.events or not tags:

@@ -37,9 +37,14 @@ class Network:
     backbone, per-node cluster NICs).
     """
 
-    def __init__(self, env: Optional[Environment] = None):
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        *,
+        incremental: Optional[bool] = None,
+    ):
         self.env = env if env is not None else Environment()
-        self.sched = FluidScheduler(self.env)
+        self.sched = FluidScheduler(self.env, incremental=incremental)
         self.hosts: Dict[str, Host] = {}
         self.links: Dict[str, Link] = {}
         self._routes: Dict[Tuple[str, str], Route] = {}

@@ -612,12 +612,15 @@ def run_service_campaign(
     *,
     sanitize: bool = False,
     ulm_path: Optional[str] = None,
+    alloc_stats: bool = False,
 ) -> ServiceResult:
     """Build and run a multi-viewer service campaign to completion.
 
     Mirrors :func:`repro.core.campaign.run_campaign`: ``sanitize``
-    attaches the concurrency sanitizer as a pure observer, and
-    ``ulm_path`` writes the merged, time-sorted ULM event stream.
+    attaches the concurrency sanitizer as a pure observer,
+    ``alloc_stats`` adds sampled ``ALLOC_*`` allocator counters (also
+    a pure observer), and ``ulm_path`` writes the merged, time-sorted
+    ULM event stream.
     """
     manager = SessionManager(config)
     sanitizer = None
@@ -633,9 +636,16 @@ def run_service_campaign(
                 daemon=manager.daemon,
             ),
         )
+    finish_alloc = None
+    if alloc_stats:
+        from repro.core.campaign import attach_alloc_logger
+
+        finish_alloc = attach_alloc_logger(manager.net, manager.daemon)
     done = manager.run()
     manager.net.run(until=done)
     total_time = manager.net.env.now
+    if finish_alloc is not None:
+        finish_alloc()
     if ulm_path is not None:
         manager.daemon.write_ulm(ulm_path)
     result = _reduce(config, manager, total_time)

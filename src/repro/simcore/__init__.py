@@ -27,7 +27,12 @@ from repro.simcore.env import Environment
 from repro.simcore.resources import Container, Resource, Store
 from repro.simcore.sync import SimBarrier, SimSemaphore
 from repro.simcore.fairshare import FlowSpec, ResourceSpec, max_min_allocation
-from repro.simcore.fluid import FluidResource, FluidScheduler, FluidTask
+from repro.simcore.fluid import (
+    AllocStats,
+    FluidResource,
+    FluidScheduler,
+    FluidTask,
+)
 from repro.simcore.pipeline import (
     DROP,
     SHUTDOWN,
@@ -57,6 +62,7 @@ __all__ = [
     "FlowSpec",
     "ResourceSpec",
     "max_min_allocation",
+    "AllocStats",
     "FluidResource",
     "FluidScheduler",
     "FluidTask",

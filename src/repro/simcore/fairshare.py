@@ -97,7 +97,21 @@ def max_min_allocation(
     names = [f.name for f in flows]
     if len(set(names)) != len(names):
         raise ValueError("duplicate flow names in allocation request")
+    return fill_rates(flows, res_by_name)
 
+
+def fill_rates(
+    flows: List[FlowSpec], res_by_name: Mapping[str, ResourceSpec]
+) -> Dict[str, float]:
+    """Progressive-filling core of :func:`max_min_allocation`.
+
+    Skips the input validation so callers that already guarantee
+    well-formed specs (the fluid scheduler solving one connected
+    component at a time) avoid re-walking every flow. ``res_by_name``
+    only needs the resources actually referenced by ``flows``: filling
+    is separable across disjoint resource components, so restricting
+    the inputs to one component yields that component's rates exactly.
+    """
     rates: Dict[str, float] = {f.name: 0.0 for f in flows}
     residual = {r.name: float(r.capacity) for r in res_by_name.values()}
 

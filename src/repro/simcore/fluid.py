@@ -1,24 +1,49 @@
 """Fluid task scheduler: transfers and compute shares over time.
 
 A :class:`FluidTask` is a fixed amount of *work* (bytes, CPU-seconds)
-served at a rate decided by :func:`~repro.simcore.fairshare.max_min_allocation`
-over the :class:`FluidResource` objects the task touches. Whenever the
-active set changes (task added, finished, or a cap updated -- e.g. TCP
-slow-start opening a window), the scheduler advances all progress at
-the old rates, recomputes the allocation, and reschedules the next
+served at a rate decided by max-min fair progressive filling
+(:mod:`repro.simcore.fairshare`) over the :class:`FluidResource`
+objects the task touches. Whenever the active set changes (task added,
+finished, or a cap updated -- e.g. TCP slow-start opening a window),
+the scheduler recomputes the allocation and reschedules the next
 completion.
 
 The same scheduler serves network links, NICs, disk pools and CPU
 pools, so cross-domain contention (the paper's reader-thread vs render
 CPU fight on single-CPU cluster nodes) falls out of one allocator.
+
+Allocation is *incremental* (see DESIGN.md section 12): max-min
+fairness is separable across disjoint resource components, so a change
+re-solves only the connected component of flows and resources it
+touches and leaves every other component's rates -- and their
+scheduled completions -- untouched. Task progress is banked lazily
+(only when a task's own rate changes), per-task ``FlowSpec`` and
+finite-cap results are cached with dirty-flag invalidation, and the
+earliest completion is tracked through a lazy-deletion heap of
+absolute ETAs instead of a linear scan, with at most one outstanding
+wake timeout. ``incremental=False`` runs the same engine as a
+fresh-recompute oracle (every component re-solved from rebuilt specs
+at every event); because rates are pure functions of the specs, the
+two modes are bitwise identical -- parity tests pin this.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+import heapq
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.simcore.events import Event, SimulationError
-from repro.simcore.fairshare import FlowSpec, ResourceSpec, max_min_allocation
+from repro.simcore.fairshare import FlowSpec, ResourceSpec, fill_rates
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.env import Environment
@@ -26,22 +51,59 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Work below this is considered complete (dimension: task units).
 _WORK_EPS = 1e-9
 
+#: Finite stand-in cap so progressive filling terminates for tasks
+#: with no finite constraint at all (no cap, no positive usage).
+_CAP_SENTINEL = 1e15
+
+#: Allocation mode for schedulers constructed without an explicit
+#: ``incremental`` argument. Parity tests flip this to compare the
+#: incremental engine against the fresh-recompute oracle.
+DEFAULT_INCREMENTAL = True
+
+#: ``alloc_observer`` callback: (tag, numeric payload) for each batch
+#: of component re-solves. Attached by the campaign layer to surface
+#: ALLOC_* NetLogger counters; ``None`` (the default) costs nothing.
+AllocObserver = Callable[[str, Dict[str, float]], None]
+
 
 class FluidResource:
-    """A named capacity constraint registered with a scheduler."""
+    """A named capacity constraint registered with a scheduler.
 
-    def __init__(self, name: str, capacity: float, *, monitor: bool = False):
+    ``max_samples`` bounds the monitor ring (oldest samples are
+    dropped); ``coalesce`` drops a sample whose load equals the
+    previous one, so long steady-state service runs don't grow memory
+    linearly. Both default to the historical unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        *,
+        monitor: bool = False,
+        max_samples: Optional[int] = None,
+        coalesce: bool = False,
+    ):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self.capacity = float(capacity)
         self.monitor = monitor
+        self.max_samples = max_samples
+        self.coalesce = coalesce
         #: (time, aggregate consumption rate) samples, if monitored.
         self.samples: List[tuple] = []
 
     def record(self, time: float, load: float) -> None:
-        if self.monitor:
-            self.samples.append((time, load))
+        if not self.monitor:
+            return
+        if self.coalesce and self.samples and self.samples[-1][1] == load:
+            return
+        self.samples.append((time, load))
+        if self.max_samples is not None and len(self.samples) > self.max_samples:
+            del self.samples[0]
 
     def utilization_timeseries(self) -> List[tuple]:
         """Sampled (time, fraction-of-capacity) pairs."""
@@ -85,6 +147,14 @@ class FluidTask:
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.done: Optional[Event] = None  # set by the scheduler
+        # -- scheduler-internal bookkeeping (meaningful while active) --
+        self._seq = 0  # global submit order; orders flows in a solve
+        self._synced_at = 0.0  # sim time `remaining` was last banked at
+        self._eta = float("inf")  # absolute completion estimate
+        self._eta_seq = 0  # lazy-deletion stamp for the ETA heap
+        self._eta_stale = False  # remaining moved without a rate change
+        self._flow: Optional[FlowSpec] = None  # cached solver spec
+        self._fcap: Optional[float] = None  # cached finite-cap stand-in
 
     @property
     def progressed(self) -> float:
@@ -98,15 +168,85 @@ class FluidTask:
         )
 
 
+@dataclass
+class AllocStats:
+    """Counters for the allocator hot path (``FluidScheduler.stats``)."""
+
+    events: int = 0  # mutations + live wakes processed
+    components_solved: int = 0
+    flows_touched: int = 0  # flow specs handed to the solver, total
+    resources_touched: int = 0
+    max_component_flows: int = 0
+    completions: int = 0
+    wakes_scheduled: int = 0  # timeouts actually pushed into the queue
+    stale_wakes: int = 0  # superseded timeouts that fired dead
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "events": self.events,
+            "components_solved": self.components_solved,
+            "flows_touched": self.flows_touched,
+            "resources_touched": self.resources_touched,
+            "max_component_flows": self.max_component_flows,
+            "completions": self.completions,
+            "wakes_scheduled": self.wakes_scheduled,
+            "stale_wakes": self.stale_wakes,
+        }
+
+
+# ETA heap entry: (eta, push id, task, eta seq, horizon, banked-at).
+# The unique push id keeps heapq from ever comparing tasks; horizon
+# and banked-at let the wake be scheduled with the exact relative
+# delay the ETA was computed from.
+_HeapEntry = Tuple[float, int, "FluidTask", int, float, float]
+
+
+class _Component:
+    """A connected set of resources and the flows crossing them.
+
+    Snapshots are cached between topology changes: cap/capacity churn
+    (the dominant event stream -- every TCP window update) re-solves a
+    component without re-deriving connectivity. ``tasks`` is ordered
+    by submit sequence so solves see flows in the same order the
+    historical global recompute did.
+    """
+
+    __slots__ = ("resources", "tasks")
+
+    def __init__(self, resources: List[str], tasks: List["FluidTask"]):
+        self.resources = resources
+        self.tasks = tasks
+
+
 class FluidScheduler:
     """Runs fluid tasks on an :class:`~repro.simcore.env.Environment`."""
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment", *, incremental: Optional[bool] = None):
         self.env = env
+        self.incremental = (
+            DEFAULT_INCREMENTAL if incremental is None else bool(incremental)
+        )
         self._resources: Dict[str, FluidResource] = {}
+        self._res_specs: Dict[str, ResourceSpec] = {}  # cache
+        #: resource name -> {task name: task}, the flow/resource
+        #: adjacency that defines connected components.
+        self._res_tasks: Dict[str, Dict[str, FluidTask]] = {}
         self._active: Dict[str, FluidTask] = {}
+        #: active tasks with no positive usage coefficient: each is
+        #: trivially its own component.
+        self._floating: Dict[str, FluidTask] = {}
+        self._dirty: Dict[str, None] = {}  # ordered set of resource seeds
+        self._dirty_floating: Dict[str, None] = {}
+        #: resource name -> its component; None after a topology change.
+        self._comp_index: Optional[Dict[str, _Component]] = None
+        self._eta_heap: List[_HeapEntry] = []
+        self._push_ids = 0
+        self._seq_ids = 0
         self._last_update = env.now
         self._wake_token = 0
+        self._next_wake = float("inf")  # fire time of the live wake
+        self.stats = AllocStats()
+        self.alloc_observer: Optional[AllocObserver] = None
 
     # -- registry ------------------------------------------------------------
     def add_resource(self, resource: FluidResource) -> FluidResource:
@@ -114,6 +254,8 @@ class FluidScheduler:
         if resource.name in self._resources:
             raise ValueError(f"duplicate resource name {resource.name!r}")
         self._resources[resource.name] = resource
+        self._res_tasks[resource.name] = {}
+        self._comp_index = None
         return resource
 
     def resource(self, name: str) -> FluidResource:
@@ -145,9 +287,27 @@ class FluidScheduler:
             task.finish_time = self.env.now
             task.done.succeed(self.env.now)
             return task.done
-        self._advance()
+        self._seq_ids += 1
+        task._seq = self._seq_ids
+        task._synced_at = self.env.now
+        task._eta = float("inf")
+        task._eta_stale = True
+        task._flow = None
+        task._fcap = None
+        task.rate = 0.0
         self._active[task.name] = task
-        self._reallocate()
+        touched = False
+        for res, coeff in task.usage.items():
+            if coeff > 0:
+                self._res_tasks[res.name][task.name] = task
+                self._dirty[res.name] = None
+                touched = True
+        if touched:
+            self._comp_index = None
+        else:
+            self._floating[task.name] = task
+            self._dirty_floating[task.name] = None
+        self._after_change()
         return task.done
 
     def set_cap(self, task: FluidTask, cap: float) -> None:
@@ -156,9 +316,10 @@ class FluidScheduler:
             raise ValueError(f"cap must be >= 0, got {cap}")
         if task.name not in self._active:
             return  # already finished; harmless
-        self._advance()
         task.cap = float(cap)
-        self._reallocate()
+        task._flow = None
+        self._touch_task(task)
+        self._after_change()
 
     def set_capacity(self, resource: FluidResource, capacity: float) -> None:
         """Change a resource's capacity mid-simulation.
@@ -170,9 +331,16 @@ class FluidScheduler:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if resource.name not in self._resources:
             raise KeyError(f"unknown resource {resource.name!r}")
-        self._advance()
         resource.capacity = float(capacity)
-        self._reallocate()
+        self._res_specs.pop(resource.name, None)
+        # Uncapped tasks borrow their cap from the capacities of the
+        # resources they touch; drop their cached values.
+        for task in self._res_tasks[resource.name].values():
+            if task.cap == float("inf"):
+                task._fcap = None
+                task._flow = None
+        self._dirty[resource.name] = None
+        self._after_change()
 
     def add_work(self, task: FluidTask, extra: float) -> None:
         """Extend a running task with additional work."""
@@ -180,10 +348,12 @@ class FluidScheduler:
             raise ValueError(f"extra must be >= 0, got {extra}")
         if task.name not in self._active:
             raise SimulationError(f"task {task.name!r} is not active")
-        self._advance()
+        self._bank(task)
         task.work += extra
         task.remaining += extra
-        self._reallocate()
+        task._eta_stale = True
+        self._touch_task(task)
+        self._after_change()
 
     def withdraw(self, task: FluidTask) -> None:
         """Remove a running task, *succeeding* its done event.
@@ -197,33 +367,48 @@ class FluidScheduler:
         """
         if task.name not in self._active:
             return
-        self._advance()
-        del self._active[task.name]
+        self._bank(task)
+        self._detach(task)
         task.rate = 0.0
         assert task.done is not None  # active tasks were submitted
         task.done.succeed(self.env.now)
-        self._reallocate()
+        self._after_change()
 
     def cancel(self, task: FluidTask) -> None:
         """Abort a running task; its done event fails with Interrupt."""
         if task.name not in self._active:
             return
-        self._advance()
-        del self._active[task.name]
+        self._bank(task)
+        self._detach(task)
+        task.rate = 0.0
         from repro.simcore.events import Interrupt
 
         assert task.done is not None  # active tasks were submitted
         task.done.fail(Interrupt("cancelled"))
         task.done._defused = True
-        self._reallocate()
+        self._after_change()
 
     # -- engine ---------------------------------------------------------------
-    def _advance(self) -> None:
-        """Apply progress at current rates up to env.now."""
-        dt = self.env.now - self._last_update
+    def _bank(self, task: FluidTask) -> None:
+        """Materialize ``task``'s progress at its current rate.
+
+        Progress is lazy: ``remaining`` is only brought up to date when
+        the task's own rate is about to change (or its work grows), so
+        events in unrelated components never touch it. Both allocation
+        modes bank at exactly the same instants -- whenever a solve
+        produces a bitwise-different rate -- which keeps their float
+        trajectories identical.
+        """
+        now = self.env.now
+        dt = now - task._synced_at
         if dt > 0:
-            for task in self._active.values():
-                task.remaining = max(task.remaining - task.rate * dt, 0.0)
+            task.remaining = max(task.remaining - task.rate * dt, 0.0)
+        task._synced_at = now
+
+    def _advance(self) -> None:
+        """Bank every active task's progress up to env.now."""
+        for task in self._active.values():
+            self._bank(task)
         self._last_update = self.env.now
 
     @staticmethod
@@ -232,90 +417,345 @@ class FluidScheduler:
         # residues far above any absolute epsilon.
         return _WORK_EPS * max(1.0, task.work)
 
-    def _reallocate(self) -> None:
-        """Recompute rates, complete finished tasks, schedule next wake."""
-        # Complete anything that has already drained.
-        finished = [
-            t
-            for t in self._active.values()
-            if t.remaining <= self._work_eps(t)
-        ]
-        for t in finished:
-            del self._active[t.name]
-            t.remaining = 0.0
-            t.rate = 0.0
-            t.finish_time = self.env.now
-            assert t.done is not None  # active tasks were submitted
-            t.done.succeed(self.env.now)
+    def _touch_task(self, task: FluidTask) -> None:
+        """Mark the component(s) containing ``task`` dirty."""
+        touched = False
+        for res, coeff in task.usage.items():
+            if coeff > 0:
+                self._dirty[res.name] = None
+                touched = True
+        if not touched:
+            self._dirty_floating[task.name] = None
 
-        if not self._active:
-            self._record_loads()
+    def _detach(self, task: FluidTask) -> None:
+        """Remove ``task`` from the active set and the adjacency.
+
+        The resources it used are left dirty: removing a flow can both
+        change its old component's rates and split the component.
+        """
+        del self._active[task.name]
+        for res, coeff in task.usage.items():
+            if coeff > 0:
+                self._res_tasks[res.name].pop(task.name, None)
+                self._dirty[res.name] = None
+                self._comp_index = None
+        self._floating.pop(task.name, None)
+        self._dirty_floating.pop(task.name, None)
+        task._eta_seq += 1
+        task._eta = float("inf")
+
+    def _after_change(self) -> None:
+        """Settle dirty components and maintain the wake timeout."""
+        self.stats.events += 1
+        if not self.incremental:
+            # Oracle mode: treat everything as dirty so every component
+            # re-solves from freshly built specs at every event, like
+            # the historical global recompute. Re-solving a clean
+            # component reproduces its rates bitwise (filling is a pure
+            # function of the specs), so no rate changes, no banking,
+            # no ETA refreshes happen that incremental mode would skip:
+            # the observable trajectories of the two modes coincide.
+            for rname in self._resources:
+                self._dirty[rname] = None
+            for tname in self._floating:
+                self._dirty_floating[tname] = None
+        self._flush()
+        self._arm_wake()
+
+    def _flush(self) -> None:
+        now = self.env.now
+        self._last_update = now
+        if self._dirty_floating:
+            for tname in list(self._dirty_floating):
+                floating = self._floating.get(tname)
+                if floating is not None:
+                    self._solve_floating(floating, now)
+            self._dirty_floating.clear()
+        if not self._dirty:
             return
-
-        specs = [
-            FlowSpec(
-                name=t.name,
-                cap=(
-                    t.cap
-                    if t.cap != float("inf")
-                    else _finite_cap(t, self._resources)
-                ),
-                usage={r.name: c for r, c in t.usage.items() if c > 0},
-                floor=t.floor,
+        seeds = list(self._dirty)
+        self._dirty.clear()
+        seen: Set[str] = set()
+        n_components = 0
+        n_flows = 0
+        n_resources = 0
+        max_flows = 0
+        for seed in seeds:
+            if seed in seen:
+                continue
+            comp = self._comp_of(seed)
+            # The resource set of a component is stable across the
+            # settle (completions remove flows, never resources), so
+            # this also covers every sub-component settled below.
+            seen.update(comp.resources)
+            comps, flows, biggest = self._settle_comp(comp, now)
+            n_components += comps
+            n_flows += flows
+            n_resources += len(comp.resources)
+            max_flows = max(max_flows, biggest)
+        self.stats.components_solved += n_components
+        self.stats.flows_touched += n_flows
+        self.stats.resources_touched += n_resources
+        self.stats.max_component_flows = max(
+            self.stats.max_component_flows, max_flows
+        )
+        if self.alloc_observer is not None and n_components:
+            self.alloc_observer(
+                "ALLOC_REALLOC",
+                {
+                    "components": float(n_components),
+                    "flows": float(n_flows),
+                    "resources": float(n_resources),
+                    "max_flows": float(max_flows),
+                },
             )
-            for t in self._active.values()
-        ]
-        res_specs = [
-            ResourceSpec(name=r.name, capacity=r.capacity)
-            for r in self._resources.values()
-        ]
-        rates = max_min_allocation(specs, res_specs)
-        for t in self._active.values():
-            t.rate = rates[t.name]
-        self._record_loads()
 
-        # Schedule a wake-up at the earliest completion.
-        horizon = float("inf")
-        nearest: Optional[FluidTask] = None
-        for t in self._active.values():
-            if t.rate > 0:
-                eta = t.remaining / t.rate
-                if eta < horizon:
-                    horizon = eta
-                    nearest = t
-        self._wake_token += 1
-        if horizon == float("inf"):
-            return  # all rates zero; an external cap change must wake us
-        if nearest is not None and (
-            self.env.now + horizon == self.env.now
-        ):
-            # The horizon underflows float time resolution: the task is
-            # done for all purposes. Drain it now instead of spinning
-            # on zero-length timeouts.
-            nearest.remaining = 0.0
-            self._reallocate()
+    def _comp_of(self, rname: str) -> _Component:
+        """The cached component containing resource ``rname``."""
+        index = self._comp_index
+        if index is None:
+            index = self._rebuild_components()
+        return index[rname]
+
+    def _rebuild_components(self) -> Dict[str, _Component]:
+        """Re-derive connectivity after a topology change.
+
+        BFS from each resource in registration order, walking resource
+        -> adjacent flow -> its resources; discovery order is adjacency
+        insertion order, i.e. submit order, so both allocation modes
+        walk components identically.
+        """
+        index: Dict[str, _Component] = {}
+        for start in self._resources:
+            if start in index:
+                continue
+            resources = [start]
+            seen = {start}
+            by_seq: Dict[int, FluidTask] = {}
+            i = 0
+            while i < len(resources):
+                for task in self._res_tasks[resources[i]].values():
+                    if task._seq in by_seq:
+                        continue
+                    by_seq[task._seq] = task
+                    for res, coeff in task.usage.items():
+                        if coeff > 0 and res.name not in seen:
+                            seen.add(res.name)
+                            resources.append(res.name)
+                i += 1
+            comp = _Component(resources, [by_seq[s] for s in sorted(by_seq)])
+            for rname in resources:
+                index[rname] = comp
+        self._comp_index = index
+        return index
+
+    def _settle_comp(self, comp: _Component, now: float) -> Tuple[int, int, int]:
+        """Re-solve a dirty component until no completion is due.
+
+        Completions can split a component, in which case each current
+        sub-component is settled recursively. Returns (components
+        solved, flows passed to the solver, largest component's flows).
+        """
+        n_components = 0
+        n_flows = 0
+        max_flows = 0
+        while True:
+            # Complete everything due, in submit order (mirrors the
+            # historical completion scan over the insertion-ordered
+            # active dict).
+            due = [t for t in comp.tasks if t._eta <= now]
+            if due:
+                for task in due:
+                    self._complete(task, now)
+                # The component index was just invalidated; settle each
+                # sub-component the remaining resources now form. They
+                # partition comp.resources, so every resource is
+                # re-solved (or recorded at zero load) exactly once.
+                sub_seen: Set[int] = set()
+                for rname in comp.resources:
+                    sub = self._comp_of(rname)
+                    if id(sub) in sub_seen:
+                        continue
+                    sub_seen.add(id(sub))
+                    comps, flows, biggest = self._settle_comp(sub, now)
+                    n_components += comps
+                    n_flows += flows
+                    max_flows = max(max_flows, biggest)
+                return n_components, n_flows, max_flows
+            if comp.tasks:
+                self._solve(comp, now)
+                n_components += 1
+                n_flows += len(comp.tasks)
+                max_flows = max(max_flows, len(comp.tasks))
+                # A solve can leave an ETA at or below `now` when the
+                # horizon underflows float time resolution: the task is
+                # done for all purposes. Drain it on the next pass
+                # instead of spinning on zero-length timeouts.
+                if any(t._eta <= now for t in comp.tasks):
+                    continue
+            self._record_loads(comp, now)
+            return n_components, n_flows, max_flows
+
+    def _record_loads(self, comp: _Component, now: float) -> None:
+        for rname in comp.resources:
+            res = self._resources[rname]
+            if res.monitor:
+                load = 0.0
+                for task in self._res_tasks[rname].values():
+                    load += task.usage[res] * task.rate
+                res.record(now, load)
+
+    def _solve(self, comp: _Component, now: float) -> None:
+        """Recompute one component's rates and refresh changed ETAs."""
+        flows = [self._flow_of(t) for t in comp.tasks]
+        res_specs = {rname: self._spec_of(rname) for rname in comp.resources}
+        rates = fill_rates(flows, res_specs)
+        for task in comp.tasks:
+            rate = rates[task.name]
+            if rate != task.rate:
+                self._bank(task)
+                task.rate = rate
+                self._refresh_eta(task, now)
+            elif task._eta_stale:
+                self._refresh_eta(task, now)
+
+    def _solve_floating(self, task: FluidTask, now: float) -> None:
+        """A task with no positive coefficients is its own component.
+
+        Progressive filling trivially drives it to its cap (or the
+        finite sentinel when uncapped); no resources are consumed.
+        """
+        rate = task.cap if task.cap != float("inf") else _CAP_SENTINEL
+        if rate != task.rate:
+            self._bank(task)
+            task.rate = rate
+            self._refresh_eta(task, now)
+        elif task._eta_stale:
+            self._refresh_eta(task, now)
+        if task._eta <= now:
+            self._complete(task, now)
+
+    def _refresh_eta(self, task: FluidTask, now: float) -> None:
+        """Recompute the absolute completion estimate after a change.
+
+        ETAs are only refreshed when the rate actually changed (or the
+        remaining work moved), so a stable component's completion keeps
+        its originally scheduled instant no matter how many events hit
+        other components -- the anchor of cross-component determinism.
+        """
+        task._eta_stale = False
+        task._eta_seq += 1
+        if task.rate > 0:
+            horizon = task.remaining / task.rate
+            task._eta = now + horizon
+            self._push_ids += 1
+            heapq.heappush(
+                self._eta_heap,
+                (task._eta, self._push_ids, task, task._eta_seq, horizon, now),
+            )
+        else:
+            # All-zero rates: an external cap/capacity change must wake
+            # the component; there is nothing to schedule.
+            task._eta = float("inf")
+
+    def _complete(self, task: FluidTask, now: float) -> None:
+        del self._active[task.name]
+        for res, coeff in task.usage.items():
+            if coeff > 0:
+                self._res_tasks[res.name].pop(task.name, None)
+                self._comp_index = None
+        self._floating.pop(task.name, None)
+        self._dirty_floating.pop(task.name, None)
+        task.remaining = 0.0
+        task.rate = 0.0
+        task.finish_time = now
+        task._eta_seq += 1
+        task._eta = float("inf")
+        assert task.done is not None  # active tasks were submitted
+        task.done.succeed(now)
+        self.stats.completions += 1
+
+    def _arm_wake(self) -> None:
+        """Ensure one timeout covers the earliest valid ETA.
+
+        Superseded heap entries are discarded lazily here; a new
+        timeout is pushed only when the earliest completion moved
+        *earlier* than the outstanding wake (a later-moving ETA just
+        lets the old wake fire, observe nothing due, and re-arm).
+        """
+        heap = self._eta_heap
+        while heap:
+            _eta, _pid, task, eta_seq, _horizon, _t0 = heap[0]
+            if self._active.get(task.name) is task and task._eta_seq == eta_seq:
+                break
+            heapq.heappop(heap)
+        if not heap:
+            self._next_wake = float("inf")
             return
+        eta, _pid, _task, _eseq, horizon, t0 = heap[0]
+        if eta >= self._next_wake:
+            return  # the live wake fires first and will re-arm
+        self._wake_token += 1
+        self._next_wake = eta
+        self.stats.wakes_scheduled += 1
         token = self._wake_token
-        wake = self.env.timeout(max(horizon, 0.0))
+        # When arming at the instant the ETA was computed, reuse the
+        # raw horizon so the wake lands exactly on fl(t0 + horizon).
+        delay = horizon if self.env.now == t0 else max(eta - self.env.now, 0.0)
+        wake = self.env.timeout(delay)
         wake.callbacks.append(lambda _ev, tok=token: self._on_wake(tok))
 
     def _on_wake(self, token: int) -> None:
         if token != self._wake_token:
-            return  # superseded by a more recent reallocation
-        self._advance()
-        self._reallocate()
+            self.stats.stale_wakes += 1
+            return  # superseded by a more recent re-arm
+        self._next_wake = float("inf")
+        now = self.env.now
+        heap = self._eta_heap
+        while heap:
+            eta, _pid, task, eta_seq, _horizon, _t0 = heap[0]
+            if not (
+                self._active.get(task.name) is task
+                and task._eta_seq == eta_seq
+            ):
+                heapq.heappop(heap)
+                continue
+            if eta > now:
+                break
+            heapq.heappop(heap)
+            self._touch_task(task)
+        self._after_change()
 
-    def _record_loads(self) -> None:
-        monitored = [r for r in self._resources.values() if r.monitor]
-        if not monitored:
-            return
-        loads = {r.name: 0.0 for r in monitored}
-        for t in self._active.values():
-            for r, coeff in t.usage.items():
-                if r.name in loads:
-                    loads[r.name] += coeff * t.rate
-        for r in monitored:
-            r.record(self.env.now, loads[r.name])
+    # -- cached solver specs --------------------------------------------------
+    def _flow_of(self, task: FluidTask) -> FlowSpec:
+        """The task's solver spec; rebuilt only after cap changes.
+
+        Oracle mode bypasses the cache to reproduce the historical
+        rebuild-every-call cost profile benchmarks compare against.
+        """
+        if not self.incremental or task._flow is None:
+            cap = task.cap
+            if cap == float("inf"):
+                cap = self._fcap_of(task)
+            task._flow = FlowSpec(
+                name=task.name,
+                cap=cap,
+                usage={r.name: c for r, c in task.usage.items() if c > 0},
+                floor=task.floor,
+            )
+        return task._flow
+
+    def _fcap_of(self, task: FluidTask) -> float:
+        if not self.incremental or task._fcap is None:
+            task._fcap = _finite_cap(task, self._resources)
+        return task._fcap
+
+    def _spec_of(self, name: str) -> ResourceSpec:
+        spec = self._res_specs.get(name) if self.incremental else None
+        if spec is None:
+            spec = ResourceSpec(name=name, capacity=self._resources[name].capacity)
+            self._res_specs[name] = spec
+        return spec
 
 
 def _finite_cap(task: FluidTask, resources: Dict[str, FluidResource]) -> float:
@@ -329,4 +769,4 @@ def _finite_cap(task: FluidTask, resources: Dict[str, FluidResource]) -> float:
     for res, coeff in task.usage.items():
         if coeff > 0:
             best = min(best, resources[res.name].capacity / coeff)
-    return best if best != float("inf") else 1e15
+    return best if best != float("inf") else _CAP_SENTINEL

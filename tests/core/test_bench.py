@@ -1,0 +1,69 @@
+"""Unit tests for the allocator benchmark harness (repro.core.bench)."""
+
+import pytest
+
+from repro.core.bench import (
+    bench_churn_service,
+    bench_disjoint_sessions,
+    bench_one_giant_component,
+    check_regression,
+    summary,
+)
+
+
+@pytest.mark.parametrize(
+    "bench",
+    [bench_disjoint_sessions, bench_one_giant_component],
+    ids=["disjoint", "giant"],
+)
+def test_micro_benchmarks_run_in_both_modes(bench):
+    for incremental in (False, True):
+        wall = bench(incremental, n_sessions=2, streams=1, ticks=5)
+        assert wall >= 0.0
+
+
+def test_churn_benchmark_runs_to_completion():
+    wall = bench_churn_service(True, n_sessions=2, streams=1, transfers=3)
+    assert wall >= 0.0
+
+
+class TestRegressionGate:
+    RESULTS = {
+        "benchmarks": {
+            "disjoint_sessions": {"speedup": 8.0},
+            "churn_service": {"speedup": 2.0},
+        },
+        "e2e": {"speedup": 1.3},
+    }
+
+    def test_clean_when_at_or_above_baseline(self):
+        baseline = {"disjoint_sessions": 5.0, "churn_service": 1.5,
+                    "e2e": 1.1}
+        assert check_regression(self.RESULTS, baseline) == []
+
+    def test_small_dips_within_tolerance_pass(self):
+        # 25% tolerance: 8.0 measured vs 10.0 baseline is borderline-ok
+        assert check_regression(self.RESULTS,
+                                {"disjoint_sessions": 10.0}) == []
+
+    def test_large_regression_fails(self):
+        failures = check_regression(self.RESULTS,
+                                    {"disjoint_sessions": 12.0})
+        assert len(failures) == 1
+        assert "disjoint_sessions" in failures[0]
+
+    def test_missing_measurement_fails(self):
+        failures = check_regression(self.RESULTS, {"one_giant_component": 1.0})
+        assert failures and "no measurement" in failures[0]
+
+
+def test_summary_mentions_every_benchmark():
+    text = summary({
+        "benchmarks": {
+            "disjoint_sessions": {
+                "oracle_s": 1.0, "incremental_s": 0.125, "speedup": 8.0
+            }
+        }
+    })
+    assert "disjoint_sessions" in text
+    assert "8.00x" in text

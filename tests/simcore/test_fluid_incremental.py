@@ -1,0 +1,356 @@
+"""Parity and hot-path tests for the incremental allocator.
+
+The incremental, component-partitioned engine (``incremental=True``,
+the default) must be observationally *identical* to the
+fresh-recompute oracle (``incremental=False``): same rates after every
+mutation, same completion times, byte-identical ULM event streams.
+These tests pin that, plus the hot-path bookkeeping the speedup rests
+on (single outstanding wake timeout, cached finite caps, bounded
+monitor sample growth).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.simcore.fluid as fluid
+from repro.simcore.env import Environment
+from repro.simcore.events import Event
+from repro.simcore.fluid import FluidResource, FluidScheduler, FluidTask
+
+HORIZON = 50.0
+
+
+# ---------------------------------------------------------------------------
+# randomized incremental-vs-oracle parity
+# ---------------------------------------------------------------------------
+
+def _random_script(rng: random.Random):
+    """A reproducible (topology, op-list) pair drawn from ``rng``."""
+    n_res = rng.randint(2, 6)
+    capacities = [
+        rng.choice([0.0, 10.0, 50.0, 100.0, 400.0]) for _ in range(n_res)
+    ]
+    ops = []
+    for _ in range(rng.randint(10, 24)):
+        ops.append(
+            rng.choices(
+                ["submit", "set_cap", "set_capacity", "add_work",
+                 "withdraw", "cancel", "wait"],
+                weights=[6, 4, 2, 2, 1, 1, 4],
+            )[0]
+        )
+    return capacities, ops
+
+
+def _run_script(seed: int, incremental: bool):
+    """Run one random workload; returns (trace, final-state) tuples.
+
+    Every float in the trace comes straight from the scheduler, so
+    equality between the two modes is bitwise, not approximate.
+    """
+    rng = random.Random(seed)
+    capacities, ops = _random_script(rng)
+
+    env = Environment()
+    sched = FluidScheduler(env, incremental=incremental)
+    resources = [
+        sched.add_resource(FluidResource(f"r{i}", cap))
+        for i, cap in enumerate(capacities)
+    ]
+    tasks: list = []
+    trace: list = []
+
+    def snapshot(label: str) -> None:
+        trace.append(
+            (
+                label,
+                env.now,
+                tuple(
+                    (t.name, t.rate, t._eta)
+                    for t in sorted(sched.active_tasks, key=lambda t: t.name)
+                ),
+            )
+        )
+
+    def apply(op: str) -> None:
+        active = [t for t in tasks if t.name in sched._active]
+        if op == "submit" or not active and op in (
+            "set_cap", "add_work", "withdraw", "cancel"
+        ):
+            k = rng.randint(0, min(3, len(resources)))
+            usage = {
+                res: rng.choice([0.5, 1.0, 2.0])
+                for res in rng.sample(resources, k)
+            }
+            floors_ok = usage and all(r.capacity > 0 for r in usage)
+            task = FluidTask(
+                "t",
+                work=rng.choice([0.0, 1.0, 25.0, 300.0, 5e4]),
+                usage=usage,
+                cap=rng.choice([float("inf"), float("inf"), 40.0, 8.0, 0.0]),
+                floor=(
+                    rng.choice([0.0, 0.0, 1.0])
+                    if floors_ok
+                    else 0.0
+                ),
+            )
+            tasks.append(task)
+            sched.submit(task)
+        elif op == "set_cap":
+            sched.set_cap(
+                rng.choice(active),
+                rng.choice([0.0, 5.0, 30.0, 120.0, float("inf")]),
+            )
+        elif op == "set_capacity":
+            sched.set_capacity(
+                rng.choice(resources),
+                rng.choice([0.0, 15.0, 60.0, 250.0]),
+            )
+        elif op == "add_work":
+            sched.add_work(rng.choice(active), rng.choice([5.0, 100.0]))
+        elif op == "withdraw":
+            sched.withdraw(rng.choice(active))
+        elif op == "cancel":
+            sched.cancel(rng.choice(active))
+
+    def driver():
+        for op in ops:
+            if op == "wait":
+                yield env.timeout(rng.choice([0.0, 0.05, 0.4, 1.7]))
+                snapshot("wait")
+                continue
+            yield env.timeout(rng.choice([0.0, 0.0, 0.02, 0.3]))
+            apply(op)
+            snapshot(op)
+
+    env.process(driver())
+    env.run(until=HORIZON)
+    sched._advance()  # materialize lazily-banked progress
+    final = tuple(
+        (t.name, t.remaining, t.rate, t.finish_time)
+        for t in sorted(tasks, key=lambda t: t.name)
+    )
+    return trace, final
+
+
+@pytest.mark.parametrize("block", range(20))
+def test_randomized_parity_incremental_vs_oracle(block):
+    """>= 200 random topologies: bitwise-identical trajectories."""
+    for seed in range(block * 10, block * 10 + 10):
+        ids = FluidTask._ids
+        inc = _run_script(seed, incremental=True)
+        FluidTask._ids = ids  # same task names in the oracle run
+        orc = _run_script(seed, incremental=False)
+        assert inc == orc, f"divergence at seed {seed}"
+
+
+def test_oracle_mode_is_opt_in_and_default_incremental():
+    env = Environment()
+    assert FluidScheduler(env).incremental is fluid.DEFAULT_INCREMENTAL
+    assert fluid.DEFAULT_INCREMENTAL is True
+    assert FluidScheduler(env, incremental=False).incremental is False
+
+
+# ---------------------------------------------------------------------------
+# wake-timeout pileup (satellite: bounded queue growth under cap churn)
+# ---------------------------------------------------------------------------
+
+def test_cap_churn_does_not_pile_up_wake_timeouts():
+    """Cap churn must not leave one superseded Timeout per event.
+
+    The historical scheduler pushed a fresh completion timeout on
+    every mutation; 500 cap updates left ~500 dead timeouts in the
+    simulator queue. Now at most one wake is outstanding and it is
+    only re-pushed when the earliest ETA moves earlier.
+    """
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = [sched.add_resource(FluidResource(f"r{i}", 100.0)) for i in range(3)]
+    tasks = [
+        FluidTask(f"w{i}", work=1e9, usage={res[i % 3]: 1.0})
+        for i in range(6)
+    ]
+    for task in tasks:
+        sched.submit(task)
+
+    def churner():
+        for tick in range(500):
+            yield env.timeout(0.01)
+            sched.set_cap(tasks[tick % len(tasks)], float(1 + tick % 7))
+
+    env.process(churner())
+    env.run(until=6.0)
+
+    assert sched.stats.events > 500
+    # far fewer wakes than events -- this is the regression being pinned
+    assert sched.stats.wakes_scheduled < 50
+    # and the simulator queue holds no graveyard of superseded timeouts
+    assert len(env._queue) < 20
+
+
+# ---------------------------------------------------------------------------
+# cached specs (satellite: _finite_cap invalidation)
+# ---------------------------------------------------------------------------
+
+def test_finite_cap_cache_invalidated_by_set_capacity():
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = sched.add_resource(FluidResource("link", 100.0))
+    task = FluidTask("t", work=1e6, usage={res: 1.0})  # uncapped
+    sched.submit(task)
+    assert task.rate == 100.0
+    assert task._fcap is not None  # cached after the first solve
+
+    sched.set_capacity(res, 40.0)
+    assert task.rate == 40.0  # stale cache would have kept 100.0
+
+    # cap churn must NOT discard the finite-cap cache (it does not
+    # depend on the task's own cap once the cap is infinite)
+    cached = task._fcap
+    other = FluidTask("u", work=1e6, usage={res: 1.0}, cap=10.0)
+    sched.submit(other)
+    sched.set_cap(other, 5.0)
+    assert task._fcap == cached
+
+
+def test_flow_spec_cache_invalidated_by_set_cap():
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = sched.add_resource(FluidResource("link", 100.0))
+    task = FluidTask("t", work=1e6, usage={res: 1.0}, cap=30.0)
+    sched.submit(task)
+    assert task.rate == 30.0
+    sched.set_cap(task, 60.0)
+    assert task.rate == 60.0
+
+
+# ---------------------------------------------------------------------------
+# monitor sample growth (satellite: bounded FluidResource.samples)
+# ---------------------------------------------------------------------------
+
+def test_monitor_samples_ring_buffer():
+    res = FluidResource("r", 10.0, monitor=True, max_samples=3)
+    for i in range(7):
+        res.record(float(i), float(i))
+    assert res.samples == [(4.0, 4.0), (5.0, 5.0), (6.0, 6.0)]
+
+
+def test_monitor_samples_coalesce_equal_loads():
+    res = FluidResource("r", 10.0, monitor=True, coalesce=True)
+    res.record(0.0, 5.0)
+    res.record(1.0, 5.0)  # steady state: dropped
+    res.record(2.0, 5.0)
+    res.record(3.0, 7.0)
+    assert res.samples == [(0.0, 5.0), (3.0, 7.0)]
+
+
+def test_monitor_defaults_remain_unbounded():
+    res = FluidResource("r", 10.0, monitor=True)
+    for i in range(5):
+        res.record(float(i), 1.0)
+    assert len(res.samples) == 5
+
+
+def test_max_samples_validation():
+    with pytest.raises(ValueError):
+        FluidResource("r", 10.0, max_samples=0)
+
+
+# ---------------------------------------------------------------------------
+# AllocStats and the observer hook
+# ---------------------------------------------------------------------------
+
+def test_alloc_stats_count_the_hot_path():
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = sched.add_resource(FluidResource("r", 100.0))
+    done = sched.submit(FluidTask("t", work=100.0, usage={res: 1.0}))
+    env.run(until=done)
+    stats = sched.stats
+    assert stats.events >= 2  # submit + completion wake
+    assert stats.completions == 1
+    assert stats.components_solved >= 1
+    assert stats.flows_touched >= 1
+    assert stats.max_component_flows >= 1
+    assert set(stats.to_dict()) == {
+        "events", "components_solved", "flows_touched",
+        "resources_touched", "max_component_flows", "completions",
+        "wakes_scheduled", "stale_wakes",
+    }
+
+
+def test_alloc_observer_sees_realloc_batches():
+    env = Environment()
+    sched = FluidScheduler(env)
+    calls = []
+    sched.alloc_observer = lambda tag, data: calls.append((tag, data))
+    res = sched.add_resource(FluidResource("r", 100.0))
+    task = FluidTask("t", work=1e6, usage={res: 1.0})
+    sched.submit(task)
+    sched.set_cap(task, 10.0)
+    assert [tag for tag, _ in calls] == ["ALLOC_REALLOC", "ALLOC_REALLOC"]
+    assert set(calls[0][1]) == {
+        "components", "flows", "resources", "max_flows"
+    }
+
+
+def test_observer_default_is_none():
+    env = Environment()
+    assert FluidScheduler(env).alloc_observer is None
+
+
+# ---------------------------------------------------------------------------
+# engine edge cases the randomized suite may not hit every run
+# ---------------------------------------------------------------------------
+
+def test_zero_capacity_component_never_completes():
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = sched.add_resource(FluidResource("dead", 0.0))
+    task = FluidTask("t", work=10.0, usage={res: 1.0})
+    sched.submit(task)
+    env.run(until=100.0)
+    assert task.rate == 0.0
+    assert task.finish_time is None
+    sched._advance()
+    assert task.remaining == 10.0
+
+
+def test_floating_task_completes_at_cap():
+    env = Environment()
+    sched = FluidScheduler(env)
+    task = FluidTask("f", work=100.0, usage={}, cap=10.0)
+    done = sched.submit(task)
+    env.run(until=done)
+    assert env.now == pytest.approx(10.0)
+
+
+def test_disjoint_components_do_not_disturb_each_other():
+    """A cap change in one component must not touch the other's ETA."""
+    env = Environment()
+    sched = FluidScheduler(env)
+    r_a = sched.add_resource(FluidResource("a", 100.0))
+    r_b = sched.add_resource(FluidResource("b", 100.0))
+    t_a = FluidTask("ta", work=1e3, usage={r_a: 1.0})
+    t_b = FluidTask("tb", work=1e3, usage={r_b: 1.0})
+    sched.submit(t_a)
+    sched.submit(t_b)
+    eta_b, seq_b = t_b._eta, t_b._eta_seq
+    flows_before = sched.stats.flows_touched
+    sched.set_cap(t_a, 50.0)
+    assert (t_b._eta, t_b._eta_seq) == (eta_b, seq_b)
+    # ... and only component A's single flow was re-solved
+    assert sched.stats.flows_touched == flows_before + 1
+
+
+def test_completion_event_value_is_finish_time():
+    env = Environment()
+    sched = FluidScheduler(env)
+    res = sched.add_resource(FluidResource("r", 10.0))
+    done = sched.submit(FluidTask("t", work=100.0, usage={res: 1.0}))
+    value = env.run(until=done)
+    assert value == pytest.approx(10.0)
+    assert isinstance(done, Event)
