@@ -1,0 +1,22 @@
+"""Standalone runner for the render-path benchmark suite.
+
+Equivalent to ``visapult bench --suite render``; kept here so the perf
+suite is discoverable next to the latency benchmarks. Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_render.py \
+        --quick --output BENCH_render.json --check
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", "--suite", "render", *sys.argv[1:]])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

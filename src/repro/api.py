@@ -31,7 +31,12 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.backend.sim import SimBackEnd
-from repro.config import BackendConfig, ExperimentConfig, NetworkConfig
+from repro.config import (
+    BackendConfig,
+    ExperimentConfig,
+    NetworkConfig,
+    TileConfig,
+)
 from repro.core.campaign import (
     CampaignConfig as Campaign,
     build_session,
@@ -53,6 +58,7 @@ from repro.service import (
     run_service_campaign,
 )
 from repro.viewer.sim import SimViewer
+from repro.volren.tiles import TileGrid
 
 __all__ = [
     "AdmissionPolicy",
@@ -70,6 +76,8 @@ __all__ = [
     "ServiceResult",
     "SimBackEnd",
     "SimViewer",
+    "TileConfig",
+    "TileGrid",
     "ViewerProfile",
     "WorkloadSpec",
     "build_session",

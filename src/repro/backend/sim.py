@@ -39,6 +39,7 @@ from repro.config import (
 )
 from repro.dpss.client import DpssClient
 from repro.netlogger.events import Tags
+from repro.protocol.messages import TILE_WIRE_OVERHEAD
 from repro.netlogger.logger import NetLogger
 from repro.netsim.tcp import TcpParams
 from repro.simcore.fluid import FluidResource, FluidTask
@@ -47,6 +48,7 @@ from repro.simcore.sync import SimBarrier
 from repro.util.rng import spawn_rngs
 from repro.volren.decomposition import slab_decompose
 from repro.volren.renderer import RenderCostModel
+from repro.volren.tiles import TileGrid, tile_changed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datagen.timeseries import TimeSeriesMeta
@@ -56,6 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.netlogger.daemon import NetLogDaemon
     from repro.service.cache import RenderCache
     from repro.viewer.sim import SimViewer
+
+#: bytes of per-rank per-frame batch framing in tile mode (tile count,
+#: frame manifest); an owner with no visible tiles still ships this so
+#: the viewer can close out the frame
+TILE_BATCH_HEADER_BYTES = 64.0
 
 
 @dataclass
@@ -78,6 +85,14 @@ class BackEndTiming:
     #: (rank, frame) slabs served from the shared render cache --
     #: each one skipped its DPSS read and its render leg entirely
     cache_hits: int = 0
+    #: tile mode: full tiles shipped to the viewer
+    tiles_full: int = 0
+    #: tile mode: tiles shipped as delta references (header + hash)
+    tiles_ref: int = 0
+    #: tile mode: texture bytes delta references kept off the WAN
+    tile_bytes_saved: float = 0.0
+    #: tile mode: fragment bytes routed owner-ward over the interconnect
+    tile_route_bytes: float = 0.0
 
     @property
     def load_throughput(self) -> float:
@@ -247,6 +262,62 @@ class SimBackEnd:
             meta.shape, self.n_render_pes, axis=axis
         )
         self._interconnect: Optional[FluidResource] = None
+
+        # -- tile mode (the distributed framebuffer refactor) ----------
+        tiles_cfg = self.config.tiles
+        self.tiles_enabled = bool(tiles_cfg.enabled)
+        self.tile_grid: Optional[TileGrid] = None
+        self.visible_tiles: Tuple[int, ...] = ()
+        self._owned_visible: Dict[int, Tuple[int, ...]] = {}
+        self._frame_route_bytes: Dict[int, float] = {}
+        self._tile_fabric: Optional[FluidResource] = None
+        #: (rank, frame) -> tile IDs this rank led claims for
+        self._lead_tiles: Dict[Tuple[int, int], List[int]] = {}
+        #: (rank, frame) -> acquire status handed to the transmit leg
+        self._tile_send_status: Dict[Tuple[int, int], str] = {}
+        if self.tiles_enabled:
+            if self.mpi_only_overlap:
+                raise ValueError(
+                    "tile mode is not supported with the rejected "
+                    "MPI-only overlap mode"
+                )
+            # The composited frame covers the two non-slab axes; with
+            # the default axis-0 decomposition every slab projects onto
+            # the full viewport, so every PE contributes fragments to
+            # every visible tile.
+            dims = [
+                int(extent)
+                for i, extent in enumerate(meta.shape)
+                if i != axis
+            ]
+            self.tile_grid = TileGrid(
+                width=dims[1], height=dims[0],
+                tile_size=tiles_cfg.tile_size,
+            )
+            if tiles_cfg.frustum is not None:
+                self.visible_tiles = self.tile_grid.tiles_in_rect(
+                    *tiles_cfg.frustum
+                )
+            else:
+                self.visible_tiles = self.tile_grid.all_tiles()
+            grid = self.tile_grid
+            self._owned_visible = {
+                rank: tuple(
+                    t for t in self.visible_tiles
+                    if grid.owner_of(t, self.n_render_pes) == rank
+                )
+                for rank in range(self.n_render_pes)
+            }
+            # Fragments a rendering rank routes to the other owners:
+            # every visible tile it does not own.
+            self._frame_route_bytes = {
+                rank: float(sum(
+                    grid.tile_pixels(t) * 4
+                    for t in self.visible_tiles
+                    if grid.owner_of(t, self.n_render_pes) != rank
+                ))
+                for rank in range(self.n_render_pes)
+            }
         self.timing = BackEndTiming(
             n_timesteps=self.n_timesteps, n_pes=self.n_pes
         )
@@ -319,6 +390,27 @@ class SimBackEnd:
             sub.shape[axis],
         )
 
+    def tile_cache_key(self, tile_id: int, frame: int) -> Tuple:
+        """Tile-mode cache key: (dataset, timestep, tile).
+
+        The grid geometry rides along so back ends with different
+        viewports or tile sizes never alias; the key is independent of
+        the PE count and of any frustum, which is exactly what lets
+        partially-overlapping viewer frusta share tile renders.
+        """
+        grid = self.tile_grid
+        assert grid is not None
+        return (
+            "tile",
+            self.dataset_name,
+            frame,
+            self.config.axis,
+            grid.width,
+            grid.height,
+            grid.tile_size,
+            tile_id,
+        )
+
     # -- execution ---------------------------------------------------------
     def run(self):
         """Event that fires when every PE has processed every frame."""
@@ -332,6 +424,15 @@ class SimBackEnd:
                 self.network.sched.set_capacity(
                     host.nic, host.nic_rate * self.overlap_ingest_factor
                 )
+        if self.tiles_enabled and self.n_render_pes > 1:
+            # The owner-routing fabric: per-tile fragments hop PE-to-PE
+            # over the platform interconnect before the owners talk to
+            # the viewer. Same fluid stand-in as the MPI fabric.
+            self._tile_fabric = FluidResource(
+                f"tile-fabric:{id(self)}",
+                self.interconnect_rate * self.n_render_pes,
+            )
+            self.network.sched.add_resource(self._tile_fabric)
         if self.mpi_only_overlap:
             # One fluid resource stands in for the message-passing
             # fabric; pair transfers share it max-min.
@@ -439,6 +540,9 @@ class SimBackEnd:
         )
 
     def _send_results(self, rank: int, frame: int, log: NetLogger):
+        if self.tiles_enabled:
+            yield from self._send_results_tiles(rank, frame, log)
+            return
         log.log(Tags.BE_LIGHT_SEND, frame=frame, rank=rank)
         yield self.viewer.deliver_light(rank, frame)
         log.log(Tags.BE_LIGHT_END, frame=frame, rank=rank)
@@ -459,6 +563,87 @@ class SimBackEnd:
         log.log(Tags.BE_HEAVY_END, frame=frame, rank=rank)
         self.timing.bytes_sent_to_viewer += nbytes + self.viewer.light_bytes
 
+    def _send_results_tiles(self, rank: int, frame: int, log: NetLogger):
+        """Tile-mode transmit leg: route fragments, batch owned tiles.
+
+        A rank that rendered first routes the visible fragments it does
+        not own to their owner PEs over the interconnect fabric
+        (``TILE_ROUTE``); then, as an owner, it ships its visible tiles
+        to the viewer in one batch with delta transmission: a tile
+        whose content is unchanged since the last delivered frame
+        travels as a header-plus-hash reference instead of pixels.
+        Degraded frames disable references (partial content never
+        matches the change model) and a fully lost slab mirrors the
+        slab path's ``BE_HEAVY_SKIP`` with ``TILE_SKIP``.
+        """
+        grid = self.tile_grid
+        assert grid is not None
+        log.log(Tags.BE_LIGHT_SEND, frame=frame, rank=rank)
+        yield self.viewer.deliver_light(rank, frame)
+        log.log(Tags.BE_LIGHT_END, frame=frame, rank=rank)
+        self.timing.bytes_sent_to_viewer += self.viewer.light_bytes
+        status = self._tile_send_status.pop((rank, frame), "miss")
+        degraded = self._degraded.get((rank, frame), 0.0)
+        if degraded >= 1.0:
+            # The whole slab was lost to faults: no fragments exist to
+            # route and the owner has nothing fresh to batch.
+            log.log(Tags.TILE_SKIP, frame=frame, rank=rank)
+            yield self.viewer.deliver_absent(rank, frame)
+            return
+        if status in ("miss", "lead", "degraded"):
+            # This rank rendered: its slab projects onto the whole
+            # viewport, so it holds fragments for every visible tile
+            # and routes the ones it does not own to their owners.
+            route_bytes = self._frame_route_bytes.get(rank, 0.0)
+            if route_bytes > 0 and self._tile_fabric is not None:
+                log.log(
+                    Tags.TILE_ROUTE_START, frame=frame, rank=rank,
+                    nbytes=round(route_bytes),
+                )
+                task = FluidTask(
+                    f"tile-route[{rank}]",
+                    work=route_bytes,
+                    usage={self._tile_fabric: 1.0},
+                    cap=self.interconnect_rate,
+                )
+                yield self.network.sched.submit(task)
+                log.log(Tags.TILE_ROUTE_END, frame=frame, rank=rank)
+                self.timing.tile_route_bytes += route_bytes
+        owned = self._owned_visible.get(rank, ())
+        change_fraction = self.config.tiles.change_fraction
+        nfull = 0
+        nref = 0
+        nbytes = TILE_BATCH_HEADER_BYTES
+        saved = 0.0
+        for tile_id in owned:
+            pixel_bytes = grid.tile_pixels(tile_id) * 4
+            changed = degraded > 0.0 or tile_changed(
+                self.dataset_name, frame, tile_id, change_fraction
+            )
+            if changed:
+                nfull += 1
+                nbytes += TILE_WIRE_OVERHEAD + pixel_bytes
+            else:
+                nref += 1
+                nbytes += TILE_WIRE_OVERHEAD
+                saved += pixel_bytes
+        if rank == 0:
+            # Rank 0 carries the AMR grid geometry for the frame.
+            nbytes += self.geometry_bytes_per_frame
+        log.log(
+            Tags.TILE_SEND, frame=frame, rank=rank,
+            ntiles=len(owned), nfull=nfull, nref=nref,
+            nbytes=round(nbytes),
+        )
+        yield self.viewer.deliver_tiles(
+            rank, frame, nbytes, ntiles=len(owned), nfull=nfull, nref=nref
+        )
+        log.log(Tags.TILE_SEND_END, frame=frame, rank=rank)
+        self.timing.tiles_full += nfull
+        self.timing.tiles_ref += nref
+        self.timing.tile_bytes_saved += saved
+        self.timing.bytes_sent_to_viewer += nbytes
+
     def _acquire_slab(self, rank: int, client, handle, frame: int,
                       log: NetLogger):
         """The load leg, via the shared render cache when present.
@@ -468,7 +653,13 @@ class SimBackEnd:
         load *and* render are skipped), ``"lead"`` (this PE loaded and
         must render + publish), or ``"degraded"`` (the load came up
         short; the claim was abandoned and nothing may be cached).
+        Tile mode adds ``"empty"`` (the rank owns no visible tiles).
         """
+        if self.tiles_enabled:
+            status = yield from self._acquire_tiles(
+                rank, client, handle, frame, log
+            )
+            return status
         cache = self.render_cache
         if cache is None:
             yield from self._load(rank, client, handle, frame, log)
@@ -496,21 +687,86 @@ class SimBackEnd:
                 return "degraded"
             return "lead"
 
+    def _acquire_tiles(self, rank: int, client, handle, frame: int,
+                       log: NetLogger):
+        """Tile-mode load leg: per-tile claims on the shared cache.
+
+        The rank claims each visible tile it owns, in ascending tile-ID
+        order (all ranks share that order, so cross-session waits can
+        never cycle). All-hit means the composited tiles are already
+        cached and the rank skips its DPSS read and render leg; any
+        led tile forces the load, and a degraded load abandons every
+        led claim so partial content never enters the cache. Fragment
+        dependencies across ranks are not modelled: a rank whose owned
+        tiles are all cached (or who owns none -- ``"empty"``) skips
+        its slab work entirely.
+        """
+        owned = self._owned_visible.get(rank, ())
+        if not owned:
+            return "empty"
+        cache = self.render_cache
+        if cache is None:
+            yield from self._load(rank, client, handle, frame, log)
+            return "miss"
+        fields = dict(frame=frame, rank=rank)
+        if self.session is not None:
+            fields["session"] = self.session
+        leads: List[int] = []
+        for tile_id in owned:
+            key = self.tile_cache_key(tile_id, frame)
+            while True:
+                claim = cache.begin(key, tile=tile_id, **fields)
+                if claim.status == "hit":
+                    break
+                if claim.status == "wait":
+                    published = yield claim.event
+                    if published:
+                        break
+                    continue
+                leads.append(tile_id)
+                break
+        if not leads:
+            self.timing.cache_hits += 1
+            return "hit"
+        self._lead_tiles[(rank, frame)] = leads
+        yield from self._load(rank, client, handle, frame, log)
+        if self._degraded.get((rank, frame), 0.0) > 0.0:
+            for tile_id in leads:
+                cache.abandon(
+                    self.tile_cache_key(tile_id, frame),
+                    tile=tile_id, **fields,
+                )
+            self._lead_tiles.pop((rank, frame), None)
+            return "degraded"
+        return "lead"
+
     def _finish_slab(self, rank: int, frame: int, log: NetLogger,
                      status: str):
         """The render leg for one acquired slab; publishes lead renders."""
-        if status == "hit":
+        if self.tiles_enabled:
+            self._tile_send_status[(rank, frame)] = status
+        if status in ("hit", "empty"):
             return
         yield from self._render(rank, frame, log)
         if status == "lead" and self.render_cache is not None:
             fields = dict(frame=frame, rank=rank)
             if self.session is not None:
                 fields["session"] = self.session
-            self.render_cache.publish(
-                self.cache_key(rank, frame),
-                self.texture_bytes(rank),
-                **fields,
-            )
+            if self.tiles_enabled:
+                grid = self.tile_grid
+                assert grid is not None
+                for tile_id in self._lead_tiles.pop((rank, frame), []):
+                    self.render_cache.publish(
+                        self.tile_cache_key(tile_id, frame),
+                        float(grid.tile_pixels(tile_id) * 4),
+                        tile=tile_id, **fields,
+                    )
+            else:
+                self.render_cache.publish(
+                    self.cache_key(rank, frame),
+                    self.texture_bytes(rank),
+                    **fields,
+                )
 
     def _pe_serial(self, rank: int):
         """Figure 18's serial loop: load, render, send, barrier."""

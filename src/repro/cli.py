@@ -61,6 +61,8 @@ def cmd_campaign(args) -> int:
         sanitize=args.sanitize,
         faults=drill.plan if drill is not None else None,
         policy=drill.policy if drill is not None else None,
+        tiles=args.tiles,
+        tile_size=args.tile_size,
     )
     try:
         config = experiment.to_campaign_config()
@@ -120,6 +122,17 @@ def cmd_serve(args) -> int:
         )
     if args.no_cache:
         config = config.with_changes(cache=CacheConfig(enabled=False))
+    if args.tiles:
+        from repro.config import TileConfig
+
+        tiles = TileConfig(
+            enabled=True,
+            **({"tile_size": args.tile_size}
+               if args.tile_size is not None else {}),
+        )
+        config = config.with_changes(
+            base=config.base.with_changes(tiles=tiles)
+        )
     if args.seed is not None:
         config = config.with_changes(seed=args.seed)
     result = run_campaign(
@@ -139,32 +152,35 @@ def cmd_serve(args) -> int:
 def cmd_bench(args) -> int:
     import json
 
-    from repro.core.bench import (
-        check_regression,
-        run_suite,
-        summary,
-        write_results,
-    )
+    if args.suite == "render":
+        from repro.core import bench_render as suite_mod
 
-    results = run_suite(quick=args.quick, e2e=not args.no_e2e)
-    print(summary(results))
+        results = suite_mod.run_suite(quick=args.quick)
+        default_baseline = "benchmarks/perf/baseline_render.json"
+    else:
+        from repro.core import bench as suite_mod  # type: ignore[no-redef]
+
+        results = suite_mod.run_suite(quick=args.quick, e2e=not args.no_e2e)
+        default_baseline = "benchmarks/perf/baseline.json"
+    print(suite_mod.summary(results))
     if args.output is not None:
-        write_results(results, args.output)
+        suite_mod.write_results(results, args.output)
         print(f"benchmark results -> {args.output}")
     if args.check:
+        baseline_path = args.baseline or default_baseline
         try:
-            with open(args.baseline) as fh:
+            with open(baseline_path) as fh:
                 baseline = json.load(fh)
         except OSError as exc:
             print(f"cannot read baseline: {exc}", file=sys.stderr)
             return 2
-        failures = check_regression(results, baseline)
+        failures = suite_mod.check_regression(results, baseline)
         if failures:
-            print("speedup regressions vs baseline:", file=sys.stderr)
+            print("benchmark regressions vs baseline:", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 1
-        print(f"no speedup regression vs {args.baseline}")
+        print(f"no benchmark regression vs {baseline_path}")
     return 0
 
 
@@ -308,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run with the concurrency sanitizer attached")
     p.add_argument("--alloc-stats", action="store_true",
                    help="log ALLOC_* allocator-cost events into the ULM")
+    p.add_argument("--tiles", action="store_true",
+                   help="tile-routed transport with delta transmission")
+    p.add_argument("--tile-size", type=int, default=None, metavar="PX",
+                   help="screen tile edge in pixels (default 32)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
@@ -331,22 +351,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write service metrics as JSON to this file")
     p.add_argument("--alloc-stats", action="store_true",
                    help="log ALLOC_* allocator-cost events into the ULM")
+    p.add_argument("--tiles", action="store_true",
+                   help="tile-routed transport with delta transmission "
+                        "and the tile-keyed shared cache")
+    p.add_argument("--tile-size", type=int, default=None, metavar="PX",
+                   help="screen tile edge in pixels (default 32)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
-        "bench", help="run the allocator performance benchmarks"
+        "bench", help="run the performance benchmark suites"
     )
+    p.add_argument("--suite", choices=["fluid", "render"], default="fluid",
+                   help="fluid: allocator speedups; render: tile wire "
+                        "savings + compositing + orbit cache")
     p.add_argument("--quick", action="store_true",
                    help="small workloads (CI-sized; scaled e2e campaign)")
     p.add_argument("--no-e2e", action="store_true",
-                   help="skip the end-to-end sc99-multiviewer benchmark")
+                   help="skip the end-to-end sc99-multiviewer benchmark "
+                        "(fluid suite only)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="write results JSON (e.g. BENCH_fluid.json)")
     p.add_argument("--check", action="store_true",
-                   help="fail if speedups regress >25%% vs the baseline")
-    p.add_argument("--baseline", default="benchmarks/perf/baseline.json",
-                   metavar="PATH",
-                   help="baseline speedups JSON for --check")
+                   help="fail if gated metrics regress >25%% vs baseline")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline floors JSON for --check (default: the "
+                        "suite's benchmarks/perf baseline)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RequestPolicy
@@ -71,6 +71,53 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class TileConfig:
+    """The tile-based distributed framebuffer mode.
+
+    ``enabled=False`` (the default) keeps the historical whole-slab
+    transport, byte-identical ULM logs included. When enabled, each
+    PE's slab render is split on a ``tile_size`` grid, fragments are
+    routed to deterministic tile owners over the interconnect, and
+    owners send their composited tiles to the viewer with delta
+    transmission: a tile unchanged since the last delivered frame
+    travels as a header-plus-hash reference instead of pixels.
+
+    ``change_fraction`` drives the deterministic, RNG-free model of
+    how much of the screen changes per timestep (camera orbit or data
+    evolution); ``frustum`` restricts a viewer to a fractional
+    viewport rect ``(x0, y0, x1, y1)`` so partially-overlapping
+    viewers share tile renders through the cache.
+    """
+
+    enabled: bool = False
+    tile_size: int = 32
+    change_fraction: float = 0.3
+    frustum: Optional[Tuple[float, float, float, float]] = None
+
+    def __post_init__(self):
+        if self.tile_size < 1:
+            raise ValueError(
+                f"tile_size must be >= 1, got {self.tile_size}"
+            )
+        if not 0.0 <= self.change_fraction <= 1.0:
+            raise ValueError(
+                f"change_fraction must be in [0, 1], got "
+                f"{self.change_fraction}"
+            )
+        if self.frustum is not None:
+            x0, y0, x1, y1 = self.frustum
+            if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+                raise ValueError(
+                    f"frustum must satisfy 0 <= lo < hi <= 1, got "
+                    f"{self.frustum}"
+                )
+
+    def with_changes(self, **changes: Any) -> "TileConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class BackendConfig:
     """The parallel back end's run mode and tuning.
 
@@ -90,6 +137,7 @@ class BackendConfig:
     seed: int = 0
     n_timesteps: Optional[int] = None
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    tiles: TileConfig = field(default_factory=TileConfig)
 
     def with_changes(self, **changes: Any) -> "BackendConfig":
         """A copy with the given fields replaced."""
@@ -97,8 +145,12 @@ class BackendConfig:
 
 
 #: BackendConfig field names that used to be SimBackEnd kwargs.
+#: ``network`` and ``tiles`` never were kwargs -- they postdate the
+#: config refactor -- so they are not part of the legacy shim.
 BACKEND_LEGACY_FIELDS = tuple(
-    f.name for f in fields(BackendConfig) if f.name != "network"
+    f.name
+    for f in fields(BackendConfig)
+    if f.name not in ("network", "tiles")
 )
 
 
@@ -127,6 +179,8 @@ class ExperimentConfig:
     sanitize: bool = False
     faults: Optional[FaultPlan] = None
     policy: Optional[RequestPolicy] = None
+    tiles: bool = False
+    tile_size: Optional[int] = None
 
     def with_changes(self, **changes: Any) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
@@ -155,6 +209,8 @@ class ExperimentConfig:
             sanitize=bool(data.get("sanitize", False)),
             faults=faults,
             policy=policy_from_spec(data.get("policy")),
+            tiles=bool(data.get("tiles", False)),
+            tile_size=data.get("tile_size"),
         )
 
     @classmethod
@@ -177,7 +233,20 @@ class ExperimentConfig:
             out["faults"] = json.loads(self.faults.to_json())
         if self.policy is not None:
             out["policy"] = asdict(self.policy)
+        if self.tiles:
+            out["tiles"] = True
+        if self.tile_size is not None:
+            out["tile_size"] = self.tile_size
         return json.dumps(out, indent=indent)
+
+    def _tile_config(self) -> Optional[TileConfig]:
+        """The TileConfig implied by the JSON-level tile knobs."""
+        if not self.tiles and self.tile_size is None:
+            return None
+        kwargs: Dict[str, Any] = {"enabled": self.tiles}
+        if self.tile_size is not None:
+            kwargs["tile_size"] = self.tile_size
+        return TileConfig(**kwargs)
 
     def to_campaign_config(self):
         """Resolve to a concrete :class:`~repro.core.campaign.CampaignConfig`."""
@@ -201,6 +270,9 @@ class ExperimentConfig:
                 base_changes["faults"] = self.faults
             if self.policy is not None:
                 base_changes["policy"] = self.policy
+            tiles = self._tile_config()
+            if tiles is not None:
+                base_changes["tiles"] = tiles
             if base_changes:
                 config = config.with_changes(
                     base=config.base.with_changes(**base_changes)
@@ -221,4 +293,7 @@ class ExperimentConfig:
             changes["faults"] = self.faults
         if self.policy is not None:
             changes["policy"] = self.policy
+        tiles = self._tile_config()
+        if tiles is not None:
+            changes["tiles"] = tiles
         return config.with_changes(**changes) if changes else config

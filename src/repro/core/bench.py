@@ -251,6 +251,36 @@ def _speedups(results: Dict[str, Any]) -> Dict[str, float]:
     return speedups
 
 
+def check_floors(
+    measured: Dict[str, float],
+    baseline: Dict[str, float],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+    what: str = "speedup",
+    unit: str = "x",
+) -> List[str]:
+    """Gate measured higher-is-better metrics against baseline floors.
+
+    Returns a list of failure descriptions (empty means every metric
+    stayed within ``tolerance`` of its floor). Shared by the fluid and
+    render suites; both gate on ratios, so the check is insensitive to
+    how fast the host happens to be.
+    """
+    failures = []
+    for name, floor in baseline.items():
+        got = measured.get(name)
+        if got is None:
+            failures.append(
+                f"{name}: no measurement (baseline {floor}{unit})"
+            )
+        elif got < floor * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {what} {got:.2f}{unit} fell more than "
+                f"{tolerance:.0%} below baseline {floor}{unit}"
+            )
+    return failures
+
+
 def check_regression(
     results: Dict[str, Any],
     baseline: Dict[str, float],
@@ -259,22 +289,10 @@ def check_regression(
 ) -> List[str]:
     """Compare measured speedups against the checked-in baseline.
 
-    Returns a list of failure descriptions (empty means no regression
-    beyond ``tolerance``). Baselines are speedup *ratios*, so the gate
-    is insensitive to how fast the host happens to be.
+    Baselines are speedup *ratios*, so the gate is insensitive to how
+    fast the host happens to be.
     """
-    measured = _speedups(results)
-    failures = []
-    for name, floor in baseline.items():
-        got = measured.get(name)
-        if got is None:
-            failures.append(f"{name}: no measurement (baseline {floor}x)")
-        elif got < floor * (1.0 - tolerance):
-            failures.append(
-                f"{name}: speedup {got:.2f}x fell more than "
-                f"{tolerance:.0%} below baseline {floor}x"
-            )
-    return failures
+    return check_floors(_speedups(results), baseline, tolerance=tolerance)
 
 
 def write_results(results: Dict[str, Any], path: str) -> None:

@@ -1,0 +1,261 @@
+"""Render-path benchmarks (the ``visapult bench --suite render`` suite).
+
+Three benchmarks measure what the tile-based distributed framebuffer
+buys over whole-slab shipping:
+
+- ``wire``: the tiny lan_e4500 campaign run twice, whole-slab versus
+  tile mode with delta transmission; the gated ``wire_reduction``
+  metric is slab bytes-on-wire over tile bytes-on-wire;
+- ``composite``: per-tile depth compositing
+  (:class:`~repro.ibravr.compositor.TiledCompositor`) against the
+  whole-image reference on the same synthetic slab stack --
+  informational (the tile path pays crop + hash overhead in exchange
+  for delta tracking), plus a bitwise-equality sanity check;
+- ``orbit_cache``: two viewers orbiting overlapping frusta against a
+  tile-keyed :class:`~repro.service.cache.RenderCache`; the gated
+  ``orbit_warm_hit_ratio`` is the hit ratio of a replayed orbit over a
+  warm cache, and the cold ratio shows cross-viewer tile sharing.
+
+Results land in ``BENCH_render.json``;
+``benchmarks/perf/baseline_render.json`` pins the gated-metric floors
+CI guards against (a byte ratio and a hit ratio, not wall seconds, so
+the gate is hardware-robust).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.bench import REGRESSION_TOLERANCE, check_floors, write_results
+
+__all__ = [
+    "bench_wire",
+    "bench_composite",
+    "bench_orbit_cache",
+    "run_suite",
+    "check_regression",
+    "summary",
+    "write_results",
+]
+
+
+def bench_wire(*, quick: bool = False) -> Dict[str, float]:
+    """Bytes-on-wire, whole-slab versus tile mode, same tiny campaign."""
+    from repro.config import TileConfig
+    from repro.core import run_campaign
+    from repro.core.campaign import CampaignConfig
+
+    base = CampaignConfig.lan_e4500(overlapped=True).with_changes(
+        shape=(64, 32, 32),
+        dataset_timesteps=8,
+        n_timesteps=3 if quick else 6,
+    )
+    start = time.perf_counter()
+    slab = run_campaign(base)
+    slab_s = time.perf_counter() - start
+    tiled_config = base.with_changes(
+        tiles=TileConfig(enabled=True, tile_size=8)
+    )
+    start = time.perf_counter()
+    tiled = run_campaign(tiled_config)
+    tiled_s = time.perf_counter() - start
+    slab_bytes = slab.backend_to_viewer_bytes
+    tile_bytes = tiled.backend_to_viewer_bytes
+    return {
+        "n_timesteps": float(base.n_timesteps),
+        "slab_bytes": round(slab_bytes, 1),
+        "tile_bytes": round(tile_bytes, 1),
+        "tiles_full": float(tiled.tiles_full),
+        "tiles_ref": float(tiled.tiles_ref),
+        "bytes_saved": round(tiled.tile_bytes_saved, 1),
+        "slab_s": round(slab_s, 4),
+        "tiled_s": round(tiled_s, 4),
+        "reduction": round(slab_bytes / tile_bytes, 3)
+        if tile_bytes > 0
+        else 0.0,
+    }
+
+
+def _synthetic_stack(
+    *, n_slabs: int, height: int, width: int
+) -> List[Any]:
+    """Deterministic premultiplied-RGBA slab layers for compositing."""
+    from repro.volren.renderer import SlabRendering
+
+    rng = np.random.default_rng(1999)
+    renderings = []
+    for rank in range(n_slabs):
+        rgba = rng.random((height, width, 4), dtype=np.float32)
+        rgba[..., :3] *= rgba[..., 3:]  # premultiply
+        lo = rank / n_slabs
+        hi = (rank + 1) / n_slabs
+        renderings.append(
+            SlabRendering(
+                rank=rank,
+                image=rgba,
+                depth=None,
+                axis=0,
+                flip=False,
+                slab_center=((lo + hi) / 2, 0.5, 0.5),
+                slab_lo=(lo, 0.0, 0.0),
+                slab_hi=(hi, 1.0, 1.0),
+            )
+        )
+    return renderings
+
+
+def bench_composite(*, quick: bool = False) -> Dict[str, float]:
+    """Whole-image versus per-tile compositing of one slab stack."""
+    from repro.ibravr.compositor import TiledCompositor
+    from repro.volren.tiles import TileGrid
+
+    size = 128 if quick else 256
+    n_slabs = 8
+    reps = 3 if quick else 10
+    renderings = _synthetic_stack(n_slabs=n_slabs, height=size, width=size)
+    compositor = TiledCompositor(TileGrid(width=size, height=size))
+    start = time.perf_counter()
+    for _ in range(reps):
+        whole = compositor.composite_whole(renderings)
+    whole_s = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        tiled = compositor.composite(renderings)
+    tiled_s = (time.perf_counter() - start) / reps
+    if not np.array_equal(whole, tiled):
+        raise AssertionError(
+            "per-tile compositing diverged from the whole-image reference"
+        )
+    return {
+        "image_size": float(size),
+        "n_slabs": float(n_slabs),
+        "n_tiles": float(compositor.grid.n_tiles),
+        "whole_s": round(whole_s, 5),
+        "tiled_s": round(tiled_s, 5),
+        "overhead": round(tiled_s / whole_s, 3) if whole_s > 0 else 0.0,
+    }
+
+
+def _orbit_window(step: int, steps: int, phase: float) -> Tuple[float, float]:
+    """The x-window a camera sees at one orbit step, in [0, 1]."""
+    span = 0.6
+    lo = (1.0 - span) * 0.5 * (
+        1.0 + math.cos(2.0 * math.pi * step / steps + phase)
+    )
+    return lo, lo + span
+
+
+def bench_orbit_cache(*, quick: bool = False) -> Dict[str, float]:
+    """Tile-keyed cache reuse under two orbiting, overlapping frusta.
+
+    Two viewers orbit the same timestep sequence a quarter-turn apart;
+    their frusta overlap, so the trailing viewer hits tiles the leading
+    viewer already rendered (the cold ratio). Replaying the whole orbit
+    against the warm cache measures steady-state reuse (the gated warm
+    ratio).
+    """
+    from repro.service.cache import CacheConfig, RenderCache
+    from repro.simcore.env import Environment
+    from repro.volren.tiles import TileGrid
+
+    grid = TileGrid(width=128, height=128, tile_size=16)
+    steps = 8 if quick else 24
+    cache = RenderCache(Environment(), CacheConfig())
+
+    def one_pass() -> None:
+        for step in range(steps):
+            for viewer in range(2):
+                phase = viewer * math.pi / 2.0
+                lo, hi = _orbit_window(step, steps, phase)
+                for tid in grid.tiles_in_rect(lo, 0.0, hi, 1.0):
+                    key = ("tile", "orbit-bench", step, 0, grid.width,
+                           grid.height, grid.tile_size, tid)
+                    claim = cache.begin(key, tile=tid, frame=step)
+                    if claim.status == "lead":
+                        cache.publish(
+                            key, float(grid.tile_pixels(tid) * 4),
+                            tile=tid, frame=step,
+                        )
+
+    start = time.perf_counter()
+    one_pass()
+    cold_hits, cold_lookups = cache.stats.hits, cache.stats.lookups
+    one_pass()
+    wall = time.perf_counter() - start
+    warm_hits = cache.stats.hits - cold_hits
+    warm_lookups = cache.stats.lookups - cold_lookups
+    return {
+        "orbit_steps": float(steps),
+        "lookups": float(cache.stats.lookups),
+        "cold_hit_ratio": round(cold_hits / cold_lookups, 3)
+        if cold_lookups
+        else 0.0,
+        "warm_hit_ratio": round(warm_hits / warm_lookups, 3)
+        if warm_lookups
+        else 0.0,
+        "wall_s": round(wall, 4),
+    }
+
+
+def run_suite(*, quick: bool = False) -> Dict[str, Any]:
+    """Run the render benchmarks; returns the BENCH_render payload."""
+    wire = bench_wire(quick=quick)
+    composite = bench_composite(quick=quick)
+    orbit = bench_orbit_cache(quick=quick)
+    return {
+        "suite": "render",
+        "quick": quick,
+        "benchmarks": {
+            "wire": wire,
+            "composite": composite,
+            "orbit_cache": orbit,
+        },
+        # the floors baseline_render.json pins; higher is better
+        "gates": {
+            "wire_reduction": wire["reduction"],
+            "orbit_warm_hit_ratio": orbit["warm_hit_ratio"],
+        },
+    }
+
+
+def check_regression(
+    results: Dict[str, Any],
+    baseline: Dict[str, float],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare the gated metrics against the checked-in floors."""
+    gates = results.get("gates", {})
+    return check_floors(gates, baseline, tolerance=tolerance,
+                        what="metric", unit="")
+
+
+def summary(results: Dict[str, Any]) -> str:
+    bench = results.get("benchmarks", {})
+    lines = ["render benchmarks (tile mode vs whole-slab):"]
+    if "wire" in bench:
+        w = bench["wire"]
+        lines.append(
+            f"  wire                 {w['slab_bytes'] / 1e3:8.1f} kB -> "
+            f"{w['tile_bytes'] / 1e3:8.1f} kB  ({w['reduction']:.2f}x "
+            f"reduction, {w['tiles_ref']:.0f} ref tiles)"
+        )
+    if "composite" in bench:
+        c = bench["composite"]
+        lines.append(
+            f"  composite            {c['whole_s'] * 1e3:8.2f} ms -> "
+            f"{c['tiled_s'] * 1e3:8.2f} ms  ({c['overhead']:.2f}x "
+            f"per-tile overhead, {c['n_tiles']:.0f} tiles)"
+        )
+    if "orbit_cache" in bench:
+        o = bench["orbit_cache"]
+        lines.append(
+            f"  orbit cache          cold {o['cold_hit_ratio']:.0%} -> "
+            f"warm {o['warm_hit_ratio']:.0%} hit ratio "
+            f"({o['lookups']:.0f} lookups)"
+        )
+    return "\n".join(lines)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backend.sim import SimBackEnd
-from repro.config import BackendConfig, NetworkConfig
+from repro.config import BackendConfig, NetworkConfig, TileConfig
 from repro.core.platforms import (
     DPSS_DISK_RATE,
     DPSS_DISKS_PER_SERVER,
@@ -76,6 +76,9 @@ class CampaignConfig:
     faults: Optional[FaultPlan] = None
     #: client-side timeout/retry/hedging policy for DPSS reads
     policy: Optional[RequestPolicy] = None
+    #: tile-based distributed framebuffer mode; ``None`` (and the
+    #: default disabled config) keep the historical whole-slab path
+    tiles: Optional[TileConfig] = None
 
     def __post_init__(self):
         if self.n_pes < 1:
@@ -375,6 +378,7 @@ def build_session(config: CampaignConfig):
             ),
             seed=config.seed,
             network=NetworkConfig(tcp=tcp, policy=policy),
+            tiles=config.tiles if config.tiles is not None else TileConfig(),
         ),
     )
 

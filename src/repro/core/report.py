@@ -59,6 +59,12 @@ class CampaignResult:
     #: span from the first injected fault to the last FAULT_*/RETRY_*
     #: event -- how long the run spent reacting to the fault schedule
     recovery_seconds: float = 0.0
+    #: tile mode: full tiles / delta references shipped to the viewer
+    #: (both zero for whole-slab runs)
+    tiles_full: int = 0
+    tiles_ref: int = 0
+    #: tile mode: texture bytes delta references kept off the WAN
+    tile_bytes_saved: float = 0.0
 
     @classmethod
     def from_run(
@@ -130,6 +136,9 @@ class CampaignResult:
             retries=backend.timing.retries,
             hedges=backend.timing.hedges,
             recovery_seconds=recovery,
+            tiles_full=backend.timing.tiles_full,
+            tiles_ref=backend.timing.tiles_ref,
+            tile_bytes_saved=backend.timing.tile_bytes_saved,
         )
 
     # -- derived -----------------------------------------------------------
@@ -183,5 +192,13 @@ class CampaignResult:
                 f"  faults            : {self.degraded_frames} degraded"
                 f" frame(s), {self.retries} retries, {self.hedges} hedges,"
                 f" recovery {fmt_seconds(self.recovery_seconds)}"
+            )
+        if self.tiles_full or self.tiles_ref:
+            total = self.tiles_full + self.tiles_ref
+            ref_ratio = self.tiles_ref / total if total else 0.0
+            lines.append(
+                f"  tile delta        : {self.tiles_full} full /"
+                f" {self.tiles_ref} ref tiles ({ref_ratio:.0%} referenced,"
+                f" {self.tile_bytes_saved / 1e6:.1f} MB saved)"
             )
         return "\n".join(lines)

@@ -21,6 +21,7 @@ from repro.netlogger.events import (
     ALLOC_TAGS,
     BACKEND_TAGS,
     TAG_PREFIXES,
+    TILE_TAGS,
     VIEWER_TAGS,
     NetLogEvent,
     Tags,
@@ -38,6 +39,7 @@ __all__ = [
     "ALLOC_TAGS",
     "BACKEND_TAGS",
     "TAG_PREFIXES",
+    "TILE_TAGS",
     "VIEWER_TAGS",
     "declared_tags",
     "NetLogEvent",

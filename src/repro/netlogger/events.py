@@ -91,6 +91,18 @@ class Tags:
     CACHE_EVICT = "CACHE_EVICT"
     CACHE_ABANDON = "CACHE_ABANDON"
 
+    # -- tile-based distributed framebuffer (repro.volren.tiles): the
+    # owner-routed fragment hop, per-rank tile batches with delta
+    # transmission, and the viewer-side receive/assembly lane ----------
+    TILE_ROUTE_START = "TILE_ROUTE_START"
+    TILE_ROUTE_END = "TILE_ROUTE_END"
+    TILE_SEND = "TILE_SEND"
+    TILE_SEND_END = "TILE_SEND_END"
+    TILE_SKIP = "TILE_SKIP"
+    TILE_RECV = "TILE_RECV"
+    TILE_RECV_END = "TILE_RECV_END"
+    TILE_FRAME_END = "TILE_FRAME_END"
+
     # -- fluid allocator counters (opt-in via --alloc-stats): sampled
     # re-solve batches plus an end-of-run summary, so NLV can show the
     # allocator's cost alongside the experiment it paid for ------------
@@ -102,7 +114,7 @@ class Tags:
 #: that every declared tag and every literal event name matches.
 TAG_PREFIXES = (
     "BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_",
-    "SVC_", "CACHE_", "ALLOC_",
+    "SVC_", "CACHE_", "TILE_", "ALLOC_",
 )
 
 
@@ -153,6 +165,17 @@ CACHE_TAGS = (
     Tags.CACHE_INSERT,
     Tags.CACHE_EVICT,
     Tags.CACHE_ABANDON,
+)
+
+TILE_TAGS = (
+    Tags.TILE_ROUTE_START,
+    Tags.TILE_ROUTE_END,
+    Tags.TILE_SEND,
+    Tags.TILE_SEND_END,
+    Tags.TILE_SKIP,
+    Tags.TILE_RECV,
+    Tags.TILE_RECV_END,
+    Tags.TILE_FRAME_END,
 )
 
 ALLOC_TAGS = (

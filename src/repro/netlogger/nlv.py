@@ -19,6 +19,7 @@ from repro.netlogger.events import (
     BACKEND_TAGS,
     CACHE_TAGS,
     SERVICE_TAGS,
+    TILE_TAGS,
     VIEWER_TAGS,
 )
 
@@ -42,12 +43,15 @@ def lifeline_plot(
     if tags is None:
         present = {ev.event for ev in log.events}
         # Service/cache lanes sit above the per-session pipeline lanes,
-        # mirroring how admission happens "above" the data path.
+        # mirroring how admission happens "above" the data path. Tile
+        # lanes span backend-to-viewer, so they sit between the viewer
+        # and cache groups rather than being dropped as unknown tags.
         # Allocator-cost lanes sit at the bottom, under the data path
         # whose events they account for.
         lanes = (
             SERVICE_TAGS[::-1]
             + CACHE_TAGS[::-1]
+            + TILE_TAGS[::-1]
             + VIEWER_TAGS[::-1]
             + BACKEND_TAGS[::-1]
             + ALLOC_TAGS[::-1]

@@ -21,10 +21,13 @@ from repro.protocol.framing import (
     write_message,
 )
 from repro.protocol.messages import (
+    TILE_FLAG_REF,
+    TILE_WIRE_OVERHEAD,
     AxisFeedback,
     ConfigMessage,
     HeavyPayload,
     LightPayload,
+    TilePayload,
     decode_message,
     encode_message,
 )
@@ -39,6 +42,9 @@ __all__ = [
     "ConfigMessage",
     "HeavyPayload",
     "LightPayload",
+    "TilePayload",
+    "TILE_FLAG_REF",
+    "TILE_WIRE_OVERHEAD",
     "decode_message",
     "encode_message",
 ]

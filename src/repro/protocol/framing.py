@@ -30,6 +30,7 @@ class MsgType(IntEnum):
     HEAVY = 3
     AXIS_FEEDBACK = 4
     BYE = 5
+    TILE = 6
 
 
 def write_message(sock, msg_type: MsgType, body: bytes) -> None:

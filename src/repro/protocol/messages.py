@@ -16,12 +16,14 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.protocol.framing import MsgType
+from repro.protocol.framing import MAX_BODY, MsgType
+from repro.volren.tiles import TILE_HASH_BYTES, TileGrid
 
 _CONFIG = struct.Struct("!IIIIII")
 _LIGHT = struct.Struct("!IIIIB?6d")
 _HEAVY_HEAD = struct.Struct("!IIIIIII")
 _AXIS = struct.Struct("!IB?")
+_TILE_HEAD = struct.Struct("!IIIIIIIB")
 
 
 @dataclass(frozen=True)
@@ -156,6 +158,11 @@ class HeavyPayload:
             + (tex_bytes if has_depth else 0)
             + n_grid * 24
         )
+        if need > MAX_BODY:
+            raise ValueError(
+                f"heavy payload header promises {need} bytes, over the "
+                f"{MAX_BODY}-byte frame limit"
+            )
         if len(body) < need:
             raise ValueError(
                 f"heavy payload truncated: header promises {need} "
@@ -182,6 +189,150 @@ class HeavyPayload:
                    grid=grid)
 
 
+#: flag bit: the payload is a delta *reference* -- no pixels follow the
+#: content hash because the viewer already holds this tile version.
+TILE_FLAG_REF = 0x01
+
+_TILE_FLAGS_KNOWN = TILE_FLAG_REF
+
+#: bytes of per-tile wire overhead (header plus content hash)
+TILE_WIRE_OVERHEAD = _TILE_HEAD.size + TILE_HASH_BYTES
+
+
+@dataclass(frozen=True)
+class TilePayload:
+    """One owner-composited screen tile, full or delta-referenced.
+
+    The tile refactor replaces whole per-slab heavy payloads with
+    per-tile messages: ``texture`` carries the RGBA8 pixels of a
+    *changed* tile, while an unchanged tile travels as a *reference*
+    (``texture is None``) -- just the header and ``content_hash`` the
+    viewer uses to re-display the version it already holds.
+    """
+
+    rank: int
+    frame: int
+    tile_id: int
+    #: top-left pixel of the tile in the viewport
+    x0: int
+    y0: int
+    #: tile extent in pixels
+    height: int
+    width: int
+    #: ``TILE_HASH_BYTES`` content digest (see ``tile_content_hash``)
+    content_hash: bytes
+    #: RGBA8 (height, width, 4) pixels, or None for a reference
+    texture: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        for name in ("rank", "frame", "tile_id", "x0", "y0"):
+            val = getattr(self, name)
+            if not 0 <= val <= 0xFFFFFFFF:
+                raise ValueError(f"{name} must fit in uint32, got {val}")
+        for name in ("height", "width"):
+            val = getattr(self, name)
+            if not 1 <= val <= 0xFFFFFFFF:
+                raise ValueError(
+                    f"{name} must be a positive uint32, got {val}"
+                )
+        if len(self.content_hash) != TILE_HASH_BYTES:
+            raise ValueError(
+                f"content_hash must be {TILE_HASH_BYTES} bytes, got "
+                f"{len(self.content_hash)}"
+            )
+        tex = self.texture
+        if tex is not None and (
+            tex.dtype != np.uint8
+            or tex.shape != (self.height, self.width, 4)
+        ):
+            raise ValueError(
+                f"texture must be uint8 ({self.height}, {self.width}, 4), "
+                f"got {tex.dtype} {tex.shape}"
+            )
+
+    @property
+    def is_reference(self) -> bool:
+        """True when this payload carries no pixels (delta reference)."""
+        return self.texture is None
+
+    def encode(self) -> bytes:
+        flags = TILE_FLAG_REF if self.texture is None else 0
+        head = _TILE_HEAD.pack(
+            self.rank,
+            self.frame,
+            self.tile_id,
+            self.x0,
+            self.y0,
+            self.height,
+            self.width,
+            flags,
+        )
+        parts = [head, self.content_hash]
+        if self.texture is not None:
+            parts.append(np.ascontiguousarray(self.texture).tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def decode(
+        cls, body: bytes, *, grid: Optional[TileGrid] = None
+    ) -> "TilePayload":
+        head_size = _TILE_HEAD.size
+        rank, frame, tile_id, x0, y0, h, w, flags = _TILE_HEAD.unpack(
+            body[:head_size]
+        )
+        if flags & ~_TILE_FLAGS_KNOWN:
+            raise ValueError(f"unknown tile flags 0x{flags:02x}")
+        if h < 1 or w < 1:
+            raise ValueError(f"tile extent must be positive, got {h}x{w}")
+        is_ref = bool(flags & TILE_FLAG_REF)
+        # Size the body in Python-int arithmetic before touching numpy,
+        # mirroring the HeavyPayload hardening: a hostile header can
+        # promise more pixels than ssize_t holds.
+        need = head_size + TILE_HASH_BYTES + (0 if is_ref else h * w * 4)
+        if need > MAX_BODY:
+            raise ValueError(
+                f"tile payload header promises {need} bytes, over the "
+                f"{MAX_BODY}-byte frame limit"
+            )
+        if len(body) < need:
+            raise ValueError(
+                f"tile payload truncated: header promises {need} bytes, "
+                f"got {len(body)}"
+            )
+        if grid is not None:
+            if tile_id >= grid.n_tiles:
+                raise ValueError(
+                    f"tile_id {tile_id} out of grid range "
+                    f"[0, {grid.n_tiles})"
+                )
+            gx0, gy0, gx1, gy1 = grid.tile_rect(tile_id)
+            if (x0, y0, h, w) != (gx0, gy0, gy1 - gy0, gx1 - gx0):
+                raise ValueError(
+                    f"tile {tile_id} rect ({x0}, {y0}, {h}x{w}) does not "
+                    f"match grid rect ({gx0}, {gy0}, "
+                    f"{gy1 - gy0}x{gx1 - gx0})"
+                )
+        offset = head_size
+        content_hash = bytes(body[offset:offset + TILE_HASH_BYTES])
+        offset += TILE_HASH_BYTES
+        texture = None
+        if not is_ref:
+            texture = np.frombuffer(
+                body, dtype=np.uint8, count=h * w * 4, offset=offset
+            ).reshape(h, w, 4).copy()
+        return cls(
+            rank=rank,
+            frame=frame,
+            tile_id=tile_id,
+            x0=x0,
+            y0=y0,
+            height=h,
+            width=w,
+            content_hash=content_hash,
+            texture=texture,
+        )
+
+
 @dataclass(frozen=True)
 class AxisFeedback:
     """Viewer -> back end: the best view axis for upcoming frames."""
@@ -199,12 +350,15 @@ class AxisFeedback:
         return cls(frame=frame, axis=axis, flip=flip)
 
 
-Message = Union[ConfigMessage, LightPayload, HeavyPayload, AxisFeedback]
+Message = Union[
+    ConfigMessage, LightPayload, HeavyPayload, TilePayload, AxisFeedback
+]
 
 _TYPE_OF = {
     ConfigMessage: MsgType.CONFIG,
     LightPayload: MsgType.LIGHT,
     HeavyPayload: MsgType.HEAVY,
+    TilePayload: MsgType.TILE,
     AxisFeedback: MsgType.AXIS_FEEDBACK,
 }
 _CLASS_OF = {v: k for k, v in _TYPE_OF.items()}

@@ -31,7 +31,7 @@ from typing import Any, Deque, Generator, List, Optional, Tuple
 import numpy as np
 
 from repro.backend.sim import SimBackEnd
-from repro.config import BackendConfig, NetworkConfig
+from repro.config import BackendConfig, NetworkConfig, TileConfig
 from repro.core.campaign import CampaignConfig
 from repro.core.platforms import (
     DPSS_DISK_RATE,
@@ -322,6 +322,9 @@ class SessionManager:
         )
         plat = base.platform
         reserved = config.admission.fair_share_rate * profile.weight
+        tiles = base.tiles if base.tiles is not None else TileConfig()
+        if profile.frustum is not None:
+            tiles = tiles.with_changes(frustum=profile.frustum)
         backend = SimBackEnd(
             net,
             self.pe_hosts,
@@ -351,6 +354,7 @@ class SessionManager:
                     policy=self._policy,
                     reserved_rate=reserved,
                 ),
+                tiles=tiles,
             ),
             render_cache=self.cache,
             session=f"s{sid}",
@@ -520,6 +524,14 @@ class ServiceResult(CampaignResult):
                 f"{stats.lookups} lookups, {stats.evictions} evictions, "
                 f"{stats.bytes_cached / 1e6:.1f} MB resident"
             )
+        if self.tiles_full or self.tiles_ref:
+            total = self.tiles_full + self.tiles_ref
+            ref_ratio = self.tiles_ref / total if total else 0.0
+            lines.append(
+                f"  tile delta        : {self.tiles_full} full /"
+                f" {self.tiles_ref} ref tiles ({ref_ratio:.0%} referenced,"
+                f" {self.tile_bytes_saved / 1e6:.1f} MB saved)"
+            )
         lines.append(
             f"  load (L)          : {self.mean_load:.2f} s/frame"
             f" +- {self.std_load:.2f}"
@@ -564,6 +576,11 @@ def _reduce(
         manager.records,
         total_time=total_time,
         cache_hit_ratio=manager.cache_stats.hit_ratio,
+        tiles_full=sum(b.timing.tiles_full for b in manager.backends),
+        tiles_ref=sum(b.timing.tiles_ref for b in manager.backends),
+        tile_bytes_saved=sum(
+            b.timing.tile_bytes_saved for b in manager.backends
+        ),
     )
     degraded: set = set()
     for backend in manager.backends:
@@ -600,6 +617,11 @@ def _reduce(
         retries=sum(b.timing.retries for b in manager.backends),
         hedges=sum(b.timing.hedges for b in manager.backends),
         recovery_seconds=recovery,
+        tiles_full=sum(b.timing.tiles_full for b in manager.backends),
+        tiles_ref=sum(b.timing.tiles_ref for b in manager.backends),
+        tile_bytes_saved=sum(
+            b.timing.tile_bytes_saved for b in manager.backends
+        ),
         service=metrics,
         sessions=list(manager.records),
         cache_stats=manager.cache_stats,

@@ -81,6 +81,12 @@ class ServiceMetrics:
     #: completed sessions over the campaign makespan
     sessions_per_second: float = 0.0
     cache_hit_ratio: float = 0.0
+    #: tile mode: full tiles / delta references shipped across every
+    #: session (both zero for whole-slab campaigns)
+    tiles_full: int = 0
+    tiles_ref: int = 0
+    #: tile mode: texture bytes delta references kept off the wire
+    tile_bytes_saved: float = 0.0
     mean_session_frame_rate: float = 0.0
     admission_p50: float = 0.0
     admission_p95: float = 0.0
@@ -96,6 +102,9 @@ class ServiceMetrics:
         *,
         total_time: float,
         cache_hit_ratio: float = 0.0,
+        tiles_full: int = 0,
+        tiles_ref: int = 0,
+        tile_bytes_saved: float = 0.0,
     ) -> "ServiceMetrics":
         """Reduce session records into service-level aggregates."""
         admitted = [r for r in records if r.admitted is not None]
@@ -125,6 +134,9 @@ class ServiceMetrics:
                 len(completed) / total_time if total_time > 0 else 0.0
             ),
             cache_hit_ratio=cache_hit_ratio,
+            tiles_full=tiles_full,
+            tiles_ref=tiles_ref,
+            tile_bytes_saved=tile_bytes_saved,
             mean_session_frame_rate=(
                 float(np.mean(rates)) if rates else 0.0
             ),
@@ -148,6 +160,9 @@ class ServiceMetrics:
             "aggregate_frame_rate": self.aggregate_frame_rate,
             "sessions_per_second": self.sessions_per_second,
             "cache_hit_ratio": self.cache_hit_ratio,
+            "tiles_full": self.tiles_full,
+            "tiles_ref": self.tiles_ref,
+            "tile_bytes_saved": self.tile_bytes_saved,
             "mean_session_frame_rate": self.mean_session_frame_rate,
             "admission_p50": self.admission_p50,
             "admission_p95": self.admission_p95,

@@ -43,11 +43,22 @@ class ViewerProfile:
     weight: float = 1.0
     #: timesteps this viewer watches; ``None`` = the campaign default
     frames: Optional[int] = None
+    #: fractional viewport rect (x0, y0, x1, y1) this viewer looks at
+    #: in tile mode; ``None`` = the whole frame. Overlapping frusta
+    #: from different viewers share tile renders through the cache.
+    frustum: Optional[Tuple[float, float, float, float]] = None
 
     def __post_init__(self):
         check_positive("weight", self.weight)
         if self.frames is not None and self.frames < 1:
             raise ValueError(f"frames must be >= 1, got {self.frames}")
+        if self.frustum is not None:
+            x0, y0, x1, y1 = self.frustum
+            if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+                raise ValueError(
+                    f"frustum must satisfy 0 <= lo < hi <= 1, got "
+                    f"{self.frustum}"
+                )
 
 
 @dataclass(frozen=True)

@@ -36,8 +36,14 @@ class _Delivery:
     rank: int
     frame: int
     nbytes: float
-    light: bool
+    #: "light", "heavy", or "tile" (a per-rank tile batch)
+    kind: str
     done: Event
+    #: tile batches only: owned tiles in the batch, split into full
+    #: pixel payloads and delta references
+    ntiles: int = 0
+    nfull: int = 0
+    nref: int = 0
 
 
 @dataclass(frozen=True)
@@ -125,6 +131,10 @@ class SimViewer:
         self._started_frames: Set[Tuple[int, int]] = set()
         self.scene_updates = 0
         self.bytes_received = 0.0
+        #: tile mode: full tiles / delta references / batch bytes seen
+        self.tiles_full = 0
+        self.tiles_ref = 0
+        self.tile_bytes = 0.0
         self.frames_completed: Dict[int, Set[int]] = {}
         #: frame -> sim time its last registered PE's texture (or
         #: recorded hole) landed in the scene; the serving layer reads
@@ -177,12 +187,35 @@ class SimViewer:
     # -- delivery API used by the back end ---------------------------------
     def deliver_light(self, rank: int, frame: int) -> Event:
         """Ship visualization metadata (~256 bytes) from PE ``rank``."""
-        return self._enqueue(rank, frame, self.light_bytes, light=True)
+        return self._enqueue(rank, frame, self.light_bytes, kind="light")
 
     def deliver_heavy(self, rank: int, frame: int, nbytes: float) -> Event:
         """Ship a slab texture (plus optional geometry) from PE ``rank``."""
         check_positive("nbytes", nbytes)
-        return self._enqueue(rank, frame, float(nbytes), light=False)
+        return self._enqueue(rank, frame, float(nbytes), kind="heavy")
+
+    def deliver_tiles(
+        self, rank: int, frame: int, nbytes: float, *,
+        ntiles: int, nfull: int = 0, nref: int = 0,
+    ) -> Event:
+        """Ship one owner PE's per-frame tile batch.
+
+        ``nfull`` tiles carry pixels, ``nref`` travel as delta
+        references (header + content hash only); ``nbytes`` is the
+        whole batch on the wire. A batch with ``ntiles=0`` is the
+        empty manifest an owner with no visible tiles still sends so
+        the frame can complete.
+        """
+        check_positive("nbytes", nbytes)
+        if ntiles < 0 or nfull < 0 or nref < 0 or nfull + nref != ntiles:
+            raise ValueError(
+                f"tile batch counts must satisfy nfull + nref == ntiles "
+                f">= 0, got ntiles={ntiles} nfull={nfull} nref={nref}"
+            )
+        return self._enqueue(
+            rank, frame, float(nbytes), kind="tile",
+            ntiles=ntiles, nfull=nfull, nref=nref,
+        )
 
     def deliver_absent(self, rank: int, frame: int) -> Event:
         """Record that PE ``rank`` has no texture for ``frame``.
@@ -200,13 +233,17 @@ class SimViewer:
         return done
 
     def _enqueue(
-        self, rank: int, frame: int, nbytes: float, *, light: bool
+        self, rank: int, frame: int, nbytes: float, *, kind: str,
+        ntiles: int = 0, nfull: int = 0, nref: int = 0,
     ) -> Event:
         if rank not in self._conns:
             raise KeyError(f"PE rank {rank} not registered with viewer")
         done = Event(self.network.env)
         self._inboxes[rank].put(
-            _Delivery(rank, frame, float(nbytes), light, done)
+            _Delivery(
+                rank, frame, float(nbytes), kind, done,
+                ntiles=ntiles, nfull=nfull, nref=nref,
+            )
         )
         return done
 
@@ -218,24 +255,35 @@ class SimViewer:
         if key not in self._started_frames:
             self._started_frames.add(key)
             self.logger.log(Tags.V_FRAME_START, frame=req.frame, rank=req.rank)
-        start_tag = (
-            Tags.V_LIGHTPAYLOAD_START if req.light
-            else Tags.V_HEAVYPAYLOAD_START
-        )
-        end_tag = (
-            Tags.V_LIGHTPAYLOAD_END if req.light else Tags.V_HEAVYPAYLOAD_END
-        )
-        self.logger.log(start_tag, frame=req.frame, rank=req.rank)
+        if req.kind == "tile":
+            start_tag, end_tag = Tags.TILE_RECV, Tags.TILE_RECV_END
+        elif req.kind == "light":
+            start_tag = Tags.V_LIGHTPAYLOAD_START
+            end_tag = Tags.V_LIGHTPAYLOAD_END
+        else:
+            start_tag = Tags.V_HEAVYPAYLOAD_START
+            end_tag = Tags.V_HEAVYPAYLOAD_END
+        if req.kind == "tile":
+            self.logger.log(
+                start_tag, frame=req.frame, rank=req.rank,
+                ntiles=req.ntiles, nfull=req.nfull, nref=req.nref,
+            )
+        else:
+            self.logger.log(start_tag, frame=req.frame, rank=req.rank)
         stats = yield conn.send(
             req.nbytes,
-            label=f"{'light' if req.light else 'heavy'}[{req.rank}]",
+            label=f"{req.kind}[{req.rank}]",
         )
         self.logger.log(end_tag, frame=req.frame, rank=req.rank)
         self.bytes_received += req.nbytes
-        if req.light:
+        if req.kind == "light":
             # Metadata never touches the scene graph: complete here.
             req.done.succeed(stats)
             return DROP
+        if req.kind == "tile":
+            self.tiles_full += req.nfull
+            self.tiles_ref += req.nref
+            self.tile_bytes += req.nbytes
         return (req, stats)
 
     def _scene_work(self, item):
@@ -246,7 +294,10 @@ class SimViewer:
         ranks.add(req.rank)
         if len(ranks) >= len(self._conns):
             self.frame_complete_times[req.frame] = self.network.env.now
-        self.logger.log(Tags.V_FRAME_END, frame=req.frame, rank=req.rank)
+        end_tag = (
+            Tags.TILE_FRAME_END if req.kind == "tile" else Tags.V_FRAME_END
+        )
+        self.logger.log(end_tag, frame=req.frame, rank=req.rank)
         req.done.succeed(stats)
         return DROP
 

@@ -21,6 +21,7 @@ from repro.volren.transfer import TransferFunction
 from repro.volren.compositing import (
     composite_over,
     composite_stack,
+    composite_tiled,
 )
 from repro.volren.decomposition import (
     SubVolume,
@@ -34,12 +35,22 @@ from repro.volren.imageorder import (
     assemble_tiles,
     redistribution_voxels,
     render_tile,
+    screen_tiles_from_grid,
     tile_data_bounds,
     tile_decompose,
     work_imbalance,
 )
 from repro.volren.raycast import render_slab, render_view
 from repro.volren.renderer import RenderCostModel, VolumeRenderer
+from repro.volren.tiles import (
+    TileGrid,
+    assemble_frame,
+    slab_view_order,
+    split_tiles,
+    tile_changed,
+    tile_content_hash,
+    tile_version,
+)
 
 __all__ = [
     "TransferFunction",
@@ -56,9 +67,18 @@ __all__ = [
     "assemble_tiles",
     "redistribution_voxels",
     "render_tile",
+    "screen_tiles_from_grid",
     "tile_data_bounds",
     "tile_decompose",
     "work_imbalance",
     "RenderCostModel",
     "VolumeRenderer",
+    "TileGrid",
+    "assemble_frame",
+    "composite_tiled",
+    "slab_view_order",
+    "split_tiles",
+    "tile_changed",
+    "tile_content_hash",
+    "tile_version",
 ]

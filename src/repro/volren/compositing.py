@@ -13,9 +13,12 @@ as the order is respected.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.volren.tiles import TileGrid
 
 
 def _check_image(img: np.ndarray, name: str) -> np.ndarray:
@@ -54,6 +57,35 @@ def composite_stack(
     for img in seq[1:]:
         out = composite_over(out, img)
     return out
+
+
+def composite_tiled(
+    images: Sequence[np.ndarray],
+    grid: "TileGrid",
+    *,
+    front_to_back: bool = True,
+) -> np.ndarray:
+    """Composite a stack per screen tile and reassemble the frame.
+
+    *over* is a per-pixel operator, so cutting every layer into the
+    same fixed tile grid, compositing each tile's stack independently
+    (in the same order), and pasting the tiles back together is
+    bitwise identical to whole-image compositing. This is the property
+    the tile-routed transport relies on for pixel parity with slab
+    mode.
+    """
+    from repro.volren.tiles import assemble_frame, split_tiles
+
+    if not images:
+        raise ValueError("empty image stack")
+    layers = [split_tiles(grid, _check_image(img, "image")) for img in images]
+    tiles = {
+        tid: composite_stack(
+            [layer[tid] for layer in layers], front_to_back=front_to_back
+        )
+        for tid in range(grid.n_tiles)
+    }
+    return assemble_frame(grid, tiles)
 
 
 def premultiply(rgba: np.ndarray) -> np.ndarray:

@@ -1,0 +1,265 @@
+"""Fixed-size screen tiles: grid, IDs, owners, and a change model.
+
+The Distributed FrameBuffer design (Usher et al., PAPERS.md) replaces
+whole per-PE slab images with fixed-size screen tiles: every tile has
+a deterministic *owner* rank, per-PE fragments are routed to owners,
+and each owner depth-composites only its own tiles. This module is the
+pure-geometry core of that refactor:
+
+- :class:`TileGrid` -- a row-major grid of ``tile_size`` x ``tile_size``
+  tiles over a ``width`` x ``height`` viewport (edge tiles may be
+  smaller), with integer tile IDs and deterministic owner assignment;
+- :func:`split_tiles` / :func:`assemble_frame` -- lossless round trip
+  between a full image and its per-tile crops;
+- :func:`tile_content_hash` -- the digest used by delta transmission
+  ("unchanged since the last delivered frame -> send a reference");
+- :func:`tile_changed` / :func:`tile_version` -- a deterministic,
+  RNG-free model of which tiles change between timesteps, so the
+  simulated back end can exercise delta transmission without touching
+  the seeded random streams that pin ULM byte parity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+#: Digest width (bytes) of tile content hashes on the wire.
+TILE_HASH_BYTES = 16
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A row-major grid of fixed-size screen tiles.
+
+    Tile IDs run 0..n_tiles-1, left to right then top to bottom.
+    Interior tiles are ``tile_size`` x ``tile_size``; tiles on the
+    right/bottom edge are clipped to the viewport.
+    """
+
+    width: int
+    height: int
+    tile_size: int = 32
+
+    def __post_init__(self):
+        if self.width < 1 or self.height < 1:
+            raise ValueError(
+                f"viewport must be at least 1x1, got "
+                f"{self.width}x{self.height}"
+            )
+        if self.tile_size < 1:
+            raise ValueError(
+                f"tile_size must be >= 1, got {self.tile_size}"
+            )
+
+    @property
+    def tiles_x(self) -> int:
+        """Number of tile columns."""
+        return -(-self.width // self.tile_size)
+
+    @property
+    def tiles_y(self) -> int:
+        """Number of tile rows."""
+        return -(-self.height // self.tile_size)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total tile count."""
+        return self.tiles_x * self.tiles_y
+
+    def tile_rect(self, tile_id: int) -> Tuple[int, int, int, int]:
+        """Pixel rect ``(x0, y0, x1, y1)`` of a tile, half-open."""
+        if not 0 <= tile_id < self.n_tiles:
+            raise ValueError(
+                f"tile_id {tile_id} out of range [0, {self.n_tiles})"
+            )
+        ty, tx = divmod(tile_id, self.tiles_x)
+        x0 = tx * self.tile_size
+        y0 = ty * self.tile_size
+        return (
+            x0,
+            y0,
+            min(x0 + self.tile_size, self.width),
+            min(y0 + self.tile_size, self.height),
+        )
+
+    def tile_shape(self, tile_id: int) -> Tuple[int, int]:
+        """``(rows, cols)`` pixel shape of a tile."""
+        x0, y0, x1, y1 = self.tile_rect(tile_id)
+        return (y1 - y0, x1 - x0)
+
+    def tile_pixels(self, tile_id: int) -> int:
+        """Pixel count of a tile."""
+        rows, cols = self.tile_shape(tile_id)
+        return rows * cols
+
+    def owner_of(self, tile_id: int, n_owners: int) -> int:
+        """Deterministic owner rank of a tile (round-robin by ID)."""
+        if n_owners < 1:
+            raise ValueError(f"n_owners must be >= 1, got {n_owners}")
+        if not 0 <= tile_id < self.n_tiles:
+            raise ValueError(
+                f"tile_id {tile_id} out of range [0, {self.n_tiles})"
+            )
+        return tile_id % n_owners
+
+    def owned_tiles(self, rank: int, n_owners: int) -> Tuple[int, ...]:
+        """All tile IDs owned by ``rank`` under round-robin assignment."""
+        if n_owners < 1:
+            raise ValueError(f"n_owners must be >= 1, got {n_owners}")
+        if not 0 <= rank < n_owners:
+            raise ValueError(
+                f"rank {rank} out of range [0, {n_owners})"
+            )
+        return tuple(range(rank, self.n_tiles, n_owners))
+
+    def tiles_in_rect(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> Tuple[int, ...]:
+        """Tile IDs overlapping a fractional viewport rect.
+
+        Coordinates are fractions of the viewport in [0, 1]; the rect
+        models a viewer frustum so partially-overlapping viewers can
+        share tile renders through the cache.
+        """
+        if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+            raise ValueError(
+                f"rect must satisfy 0 <= lo < hi <= 1, got "
+                f"({x0}, {y0}, {x1}, {y1})"
+            )
+        px0 = int(np.floor(x0 * self.width))
+        py0 = int(np.floor(y0 * self.height))
+        px1 = min(int(np.ceil(x1 * self.width)), self.width)
+        py1 = min(int(np.ceil(y1 * self.height)), self.height)
+        tx0 = px0 // self.tile_size
+        ty0 = py0 // self.tile_size
+        tx1 = min((px1 - 1) // self.tile_size, self.tiles_x - 1)
+        ty1 = min((py1 - 1) // self.tile_size, self.tiles_y - 1)
+        return tuple(
+            ty * self.tiles_x + tx
+            for ty in range(ty0, ty1 + 1)
+            for tx in range(tx0, tx1 + 1)
+        )
+
+    def all_tiles(self) -> Tuple[int, ...]:
+        """All tile IDs in row-major order."""
+        return tuple(range(self.n_tiles))
+
+
+def split_tiles(
+    grid: TileGrid, image: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Cut a full (H, W, 4) image into per-tile crops keyed by tile ID."""
+    image = np.asarray(image)
+    if image.shape[:2] != (grid.height, grid.width):
+        raise ValueError(
+            f"image shape {image.shape[:2]} != viewport "
+            f"({grid.height}, {grid.width})"
+        )
+    out: Dict[int, np.ndarray] = {}
+    for tid in range(grid.n_tiles):
+        x0, y0, x1, y1 = grid.tile_rect(tid)
+        out[tid] = image[y0:y1, x0:x1]
+    return out
+
+
+def assemble_frame(
+    grid: TileGrid, tiles: Mapping[int, np.ndarray]
+) -> np.ndarray:
+    """Paste per-tile crops back into a full (H, W, 4) frame.
+
+    Tiles absent from the mapping stay zero (fully transparent), which
+    is how a frustum-restricted viewer leaves off-screen tiles blank.
+    """
+    frame = np.zeros((grid.height, grid.width, 4), dtype=np.float32)
+    for tid, img in tiles.items():
+        x0, y0, x1, y1 = grid.tile_rect(tid)
+        expected = (y1 - y0, x1 - x0)
+        img = np.asarray(img)
+        if img.shape[:2] != expected:
+            raise ValueError(
+                f"tile {tid} crop shape {img.shape[:2]} != {expected}"
+            )
+        frame[y0:y1, x0:x1] = img
+    return frame
+
+
+def tile_content_hash(tile_image: np.ndarray) -> bytes:
+    """Content digest of one tile image (``TILE_HASH_BYTES`` bytes).
+
+    Delta transmission compares this digest against the last delivered
+    version of the same tile; a match means the viewer already holds
+    the pixels and only a reference needs to travel.
+    """
+    arr = np.ascontiguousarray(np.asarray(tile_image))
+    h = hashlib.blake2b(digest_size=TILE_HASH_BYTES)
+    h.update(str(arr.shape).encode("ascii"))
+    h.update(str(arr.dtype).encode("ascii"))
+    h.update(arr.tobytes())
+    return h.digest()
+
+
+def _change_draw(dataset: str, frame: int, tile_id: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (frame, tile)."""
+    h = hashlib.blake2b(
+        f"{dataset}:{frame}:{tile_id}".encode("utf-8"), digest_size=8
+    )
+    return int.from_bytes(h.digest(), "big") / 2.0**64
+
+
+def tile_changed(
+    dataset: str, frame: int, tile_id: int, change_fraction: float
+) -> bool:
+    """Whether a tile's content changed going into ``frame``.
+
+    Frame 0 always changes (there is no prior content to reference).
+    Later frames change with probability ``change_fraction``, decided
+    by a hash of (dataset, frame, tile) -- deterministic and RNG-free,
+    so enabling tiles never perturbs the seeded simulation streams.
+    """
+    if not 0.0 <= change_fraction <= 1.0:
+        raise ValueError(
+            f"change_fraction must be in [0, 1], got {change_fraction}"
+        )
+    if frame <= 0:
+        return True
+    if change_fraction >= 1.0:
+        return True
+    return _change_draw(dataset, frame, tile_id) < change_fraction
+
+
+def tile_version(
+    dataset: str, frame: int, tile_id: int, change_fraction: float
+) -> int:
+    """Monotonic content version of a tile at ``frame``.
+
+    Version 1 is the initial content; each changed frame bumps it.
+    Two frames share a version exactly when no change occurred between
+    them, which is the delta-transmission reference condition.
+    """
+    if frame < 0:
+        raise ValueError(f"frame must be >= 0, got {frame}")
+    version = 1
+    for f in range(1, frame + 1):
+        if tile_changed(dataset, f, tile_id, change_fraction):
+            version += 1
+    return version
+
+
+def slab_view_order(
+    depths: Sequence[float], *, flip: bool = False
+) -> List[int]:
+    """Back-to-front composite order over per-slab view depths.
+
+    Returns indices sorted by depth (farthest first); ``flip``
+    reverses, mirroring the slab-axis sign convention used by the
+    whole-image path so tile-split compositing replays the exact same
+    order and stays bitwise identical.
+    """
+    order = sorted(range(len(depths)), key=lambda i: (depths[i], i))
+    if flip:
+        order.reverse()
+    return order

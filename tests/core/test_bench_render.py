@@ -1,0 +1,71 @@
+"""Unit tests for the render benchmark harness (repro.core.bench_render)."""
+
+from repro.core.bench import check_floors
+from repro.core.bench_render import (
+    bench_composite,
+    bench_orbit_cache,
+    check_regression,
+    summary,
+)
+
+
+def test_orbit_cache_bench_is_deterministic_and_warm_is_perfect():
+    first = bench_orbit_cache(quick=True)
+    second = bench_orbit_cache(quick=True)
+    assert first["warm_hit_ratio"] == 1.0
+    assert 0.0 < first["cold_hit_ratio"] < 1.0
+    for key in ("cold_hit_ratio", "warm_hit_ratio", "lookups"):
+        assert first[key] == second[key]
+
+
+def test_composite_bench_reports_parity_checked_timings():
+    result = bench_composite(quick=True)
+    assert result["whole_s"] >= 0.0 and result["tiled_s"] >= 0.0
+    assert result["n_tiles"] == 16.0  # 128/32 squared
+
+
+class TestRenderGate:
+    RESULTS = {
+        "gates": {"wire_reduction": 3.7, "orbit_warm_hit_ratio": 1.0},
+    }
+
+    def test_clean_at_baseline(self):
+        baseline = {"wire_reduction": 3.5, "orbit_warm_hit_ratio": 1.0}
+        assert check_regression(self.RESULTS, baseline) == []
+
+    def test_dip_within_tolerance_passes(self):
+        assert check_regression(self.RESULTS, {"wire_reduction": 4.5}) == []
+
+    def test_large_regression_fails(self):
+        failures = check_regression(self.RESULTS, {"wire_reduction": 8.0})
+        assert len(failures) == 1 and "wire_reduction" in failures[0]
+
+    def test_missing_gate_fails(self):
+        failures = check_regression(self.RESULTS, {"delta_ratio": 0.5})
+        assert failures and "no measurement" in failures[0]
+
+
+def test_check_floors_is_shared_and_formats_units():
+    failures = check_floors({"m": 1.0}, {"m": 4.0}, what="metric", unit="")
+    assert failures == [
+        "m: metric 1.00 fell more than 25% below baseline 4.0"
+    ]
+    # the fluid suite's historical phrasing survives the refactor
+    failures = check_floors({"s": 1.0}, {"s": 4.0})
+    assert "speedup 1.00x" in failures[0]
+
+
+def test_summary_mentions_every_benchmark():
+    text = summary({
+        "benchmarks": {
+            "wire": {"slab_bytes": 120000.0, "tile_bytes": 32000.0,
+                     "reduction": 3.75, "tiles_ref": 21.0},
+            "composite": {"whole_s": 0.001, "tiled_s": 0.002,
+                          "overhead": 2.0, "n_tiles": 16.0},
+            "orbit_cache": {"cold_hit_ratio": 0.4, "warm_hit_ratio": 1.0,
+                            "lookups": 1472.0},
+        }
+    })
+    assert "3.75x" in text
+    assert "per-tile overhead" in text
+    assert "warm 100%" in text

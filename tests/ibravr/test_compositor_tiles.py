@@ -1,0 +1,121 @@
+"""TiledCompositor: owner-style per-tile compositing must be pixel-
+identical to whole-image slab compositing, across every seeded
+registry campaign's slab count."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import campaign_names
+from repro.core.campaign import named_campaign
+from repro.ibravr.compositor import TiledCompositor
+from repro.ibravr.slabs import slab_depth_key
+from repro.volren.renderer import SlabRendering
+from repro.volren.tiles import TileGrid
+
+
+def make_stack(n_slabs, *, height=40, width=32, seed=0, flip=False,
+               shuffle=False):
+    """Seeded premultiplied-RGBA slab renderings along axis 0."""
+    rng = np.random.default_rng(seed)
+    renderings = []
+    for rank in range(n_slabs):
+        rgba = rng.random((height, width, 4), dtype=np.float32)
+        rgba[..., :3] *= rgba[..., 3:]
+        lo, hi = rank / n_slabs, (rank + 1) / n_slabs
+        renderings.append(
+            SlabRendering(
+                rank=rank, image=rgba, depth=None, axis=0, flip=flip,
+                slab_center=((lo + hi) / 2, 0.5, 0.5),
+                slab_lo=(lo, 0.0, 0.0), slab_hi=(hi, 1.0, 1.0),
+            )
+        )
+    if shuffle:
+        renderings = [renderings[i]
+                      for i in rng.permutation(n_slabs)]
+    return renderings
+
+
+@pytest.mark.parametrize("name", campaign_names())
+def test_tile_compositing_matches_slab_mode_per_campaign(name):
+    """For every registry campaign's PE count (seeded by the campaign
+    name), the tile path reproduces the slab path bit for bit."""
+    config = named_campaign(name)
+    base = getattr(config, "base", config)
+    seed = int.from_bytes(
+        hashlib.blake2b(name.encode(), digest_size=4).digest(), "big"
+    )
+    stack = make_stack(base.n_pes, seed=seed)
+    compositor = TiledCompositor(TileGrid(width=32, height=40,
+                                          tile_size=16))
+    whole = compositor.composite_whole(stack)
+    tiled = compositor.composite(stack)
+    assert np.array_equal(whole, tiled)
+
+
+@pytest.mark.parametrize("flip", [False, True], ids=["front", "flipped"])
+@pytest.mark.parametrize("tile_size", [8, 13, 64])
+def test_parity_is_order_and_tile_size_independent(tile_size, flip):
+    """Arrival order must not matter (both paths sort by depth), and
+    neither must the tile granularity, including non-divisible sizes."""
+    stack = make_stack(6, seed=99, flip=flip, shuffle=True)
+    compositor = TiledCompositor(
+        TileGrid(width=32, height=40, tile_size=tile_size)
+    )
+    assert np.array_equal(
+        compositor.composite_whole(stack), compositor.composite(stack)
+    )
+
+
+class TestDeltaCounters:
+    def test_repeated_update_counts_all_tiles_unchanged(self):
+        stack = make_stack(4, seed=5)
+        compositor = TiledCompositor(TileGrid(width=32, height=40,
+                                              tile_size=16))
+        compositor.composite(stack)
+        n = compositor.grid.n_tiles
+        assert (compositor.changed, compositor.unchanged) == (n, 0)
+        compositor.composite(stack)
+        assert (compositor.changed, compositor.unchanged) == (n, n)
+        assert compositor.updates == 2
+
+    def test_localized_change_flips_only_touched_tiles(self):
+        stack = make_stack(4, seed=6)
+        compositor = TiledCompositor(TileGrid(width=32, height=40,
+                                              tile_size=16))
+        compositor.composite(stack)
+        # poke one pixel inside tile 0 of the front-most slab
+        stack[0].image[0, 0, 0] += 0.125
+        compositor.composite(stack)
+        n = compositor.grid.n_tiles
+        assert compositor.unchanged == n - 1
+
+    def test_mixed_axes_rejected(self):
+        stack = make_stack(2, seed=7)
+        other = SlabRendering(
+            rank=2, image=stack[0].image, depth=None, axis=1, flip=False,
+            slab_center=(0.5, 0.5, 0.5),
+            slab_lo=(0.0, 0.0, 0.0), slab_hi=(1.0, 1.0, 1.0),
+        )
+        compositor = TiledCompositor(TileGrid(width=32, height=40))
+        with pytest.raises(ValueError, match="mixed slab axes"):
+            compositor.composite(stack + [other])
+
+    def test_viewport_mismatch_rejected(self):
+        stack = make_stack(2, seed=8, height=16, width=16)
+        compositor = TiledCompositor(TileGrid(width=32, height=40))
+        with pytest.raises(ValueError, match="viewport"):
+            compositor.composite(stack)
+
+
+class TestSlabDepthKey:
+    def test_center_along_axis(self):
+        assert slab_depth_key((0.0, 0.0, 0.0), (0.5, 1.0, 1.0), 0) == 0.25
+        assert slab_depth_key((0.0, 0.25, 0.0), (1.0, 0.75, 1.0), 1) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slab_depth_key((0.0, 0.0, 0.0), (1.0, 1.0, 1.0), 3)
+        with pytest.raises(ValueError):
+            slab_depth_key((0.5, 0.0, 0.0), (0.5, 1.0, 1.0), 0)

@@ -91,6 +91,8 @@ def test_api_facade_pinned():
         "ServiceResult",
         "SimBackEnd",
         "SimViewer",
+        "TileConfig",
+        "TileGrid",
         "ViewerProfile",
         "WorkloadSpec",
         "build_session",

@@ -1,0 +1,246 @@
+"""Tile grid geometry, the change model, and tile-composite parity."""
+
+import numpy as np
+import pytest
+
+from repro.volren.compositing import composite_stack, composite_tiled
+from repro.volren.imageorder import screen_tiles_from_grid
+from repro.volren.tiles import (
+    TILE_HASH_BYTES,
+    TileGrid,
+    assemble_frame,
+    slab_view_order,
+    split_tiles,
+    tile_changed,
+    tile_content_hash,
+    tile_version,
+)
+
+
+class TestGridGeometry:
+    def test_counts_round_up_for_clipped_edges(self):
+        grid = TileGrid(width=100, height=70, tile_size=32)
+        assert (grid.tiles_x, grid.tiles_y) == (4, 3)
+        assert grid.n_tiles == 12
+
+    def test_rects_partition_the_viewport_exactly(self):
+        grid = TileGrid(width=100, height=70, tile_size=32)
+        covered = np.zeros((grid.height, grid.width), dtype=int)
+        for tid in grid.all_tiles():
+            x0, y0, x1, y1 = grid.tile_rect(tid)
+            assert 0 <= x0 < x1 <= grid.width
+            assert 0 <= y0 < y1 <= grid.height
+            covered[y0:y1, x0:x1] += 1
+        assert np.all(covered == 1)
+
+    def test_edge_tiles_are_clipped(self):
+        grid = TileGrid(width=100, height=70, tile_size=32)
+        # bottom-right tile: 100 - 96 = 4 wide, 70 - 64 = 6 tall
+        assert grid.tile_shape(grid.n_tiles - 1) == (6, 4)
+        assert grid.tile_pixels(grid.n_tiles - 1) == 24
+
+    def test_tile_rect_rejects_out_of_range(self):
+        grid = TileGrid(width=64, height=64, tile_size=32)
+        with pytest.raises(ValueError):
+            grid.tile_rect(grid.n_tiles)
+        with pytest.raises(ValueError):
+            grid.tile_rect(-1)
+
+    def test_degenerate_viewport_and_tile_size_validate(self):
+        with pytest.raises(ValueError):
+            TileGrid(width=0, height=4)
+        with pytest.raises(ValueError):
+            TileGrid(width=4, height=4, tile_size=0)
+
+    def test_tile_size_larger_than_viewport_is_one_tile(self):
+        grid = TileGrid(width=5, height=3, tile_size=32)
+        assert grid.n_tiles == 1
+        assert grid.tile_rect(0) == (0, 0, 5, 3)
+
+
+class TestOwners:
+    def test_round_robin_owner_assignment(self):
+        grid = TileGrid(width=128, height=128, tile_size=32)  # 16 tiles
+        for tid in grid.all_tiles():
+            assert grid.owner_of(tid, 4) == tid % 4
+
+    def test_owned_tiles_partition_the_grid(self):
+        grid = TileGrid(width=128, height=96, tile_size=32)
+        n_owners = 3
+        seen = []
+        for rank in range(n_owners):
+            owned = grid.owned_tiles(rank, n_owners)
+            assert all(grid.owner_of(t, n_owners) == rank for t in owned)
+            seen.extend(owned)
+        assert sorted(seen) == list(grid.all_tiles())
+
+    def test_owner_validation(self):
+        grid = TileGrid(width=64, height=64)
+        with pytest.raises(ValueError):
+            grid.owner_of(0, 0)
+        with pytest.raises(ValueError):
+            grid.owned_tiles(2, 2)
+
+    def test_screen_tiles_bridge_carries_owner_ranks(self):
+        grid = TileGrid(width=64, height=64, tile_size=32)
+        tiles = screen_tiles_from_grid(grid, n_owners=2)
+        assert len(tiles) == grid.n_tiles
+        for tid, st in enumerate(tiles):
+            assert st.rank == grid.owner_of(tid, 2)
+            assert (st.x0, st.y0, st.x1, st.y1) == grid.tile_rect(tid)
+
+
+class TestFrustumRect:
+    def test_full_rect_selects_every_tile(self):
+        grid = TileGrid(width=100, height=70, tile_size=32)
+        assert grid.tiles_in_rect(0.0, 0.0, 1.0, 1.0) == grid.all_tiles()
+
+    def test_half_viewport_selects_left_columns(self):
+        grid = TileGrid(width=128, height=64, tile_size=32)  # 4x2 tiles
+        assert grid.tiles_in_rect(0.0, 0.0, 0.5, 1.0) == (0, 1, 4, 5)
+
+    def test_partial_tile_overlap_includes_the_tile(self):
+        grid = TileGrid(width=128, height=64, tile_size=32)
+        # 0.3 * 128 = 38.4 px reaches into the second tile column
+        assert grid.tiles_in_rect(0.0, 0.0, 0.3, 1.0) == (0, 1, 4, 5)
+
+    def test_overlapping_frusta_share_tiles(self):
+        grid = TileGrid(width=128, height=64, tile_size=32)
+        a = set(grid.tiles_in_rect(0.0, 0.0, 0.75, 1.0))
+        b = set(grid.tiles_in_rect(0.25, 0.0, 1.0, 1.0))
+        assert a & b  # the shared middle columns
+        assert a | b == set(grid.all_tiles())
+
+    def test_invalid_rect_raises(self):
+        grid = TileGrid(width=64, height=64)
+        with pytest.raises(ValueError):
+            grid.tiles_in_rect(0.5, 0.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            grid.tiles_in_rect(-0.1, 0.0, 1.0, 1.0)
+
+
+class TestSplitAssemble:
+    def test_round_trip_is_lossless(self):
+        grid = TileGrid(width=50, height=34, tile_size=16)
+        rng = np.random.default_rng(7)
+        image = rng.random((34, 50, 4)).astype(np.float32)
+        tiles = split_tiles(grid, image)
+        assert len(tiles) == grid.n_tiles
+        assert np.array_equal(assemble_frame(grid, tiles), image)
+
+    def test_absent_tiles_stay_transparent(self):
+        grid = TileGrid(width=64, height=64, tile_size=32)
+        rng = np.random.default_rng(8)
+        image = rng.random((64, 64, 4)).astype(np.float32)
+        tiles = split_tiles(grid, image)
+        del tiles[3]
+        frame = assemble_frame(grid, tiles)
+        x0, y0, x1, y1 = grid.tile_rect(3)
+        assert np.all(frame[y0:y1, x0:x1] == 0.0)
+
+    def test_shape_mismatches_raise(self):
+        grid = TileGrid(width=64, height=64, tile_size=32)
+        with pytest.raises(ValueError):
+            split_tiles(grid, np.zeros((32, 64, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            assemble_frame(grid, {0: np.zeros((8, 8, 4), np.float32)})
+
+
+class TestContentHash:
+    def test_digest_width_and_determinism(self):
+        tile = np.arange(64, dtype=np.uint8).reshape(4, 4, 4)
+        digest = tile_content_hash(tile)
+        assert len(digest) == TILE_HASH_BYTES
+        assert digest == tile_content_hash(tile.copy())
+
+    def test_content_changes_change_the_digest(self):
+        tile = np.zeros((4, 4, 4), dtype=np.uint8)
+        other = tile.copy()
+        other[0, 0, 0] = 1
+        assert tile_content_hash(tile) != tile_content_hash(other)
+
+    def test_shape_and_dtype_are_part_of_the_digest(self):
+        flat = np.zeros(64, dtype=np.uint8)
+        shaped = flat.reshape(4, 4, 4)
+        assert tile_content_hash(flat) != tile_content_hash(shaped)
+        assert tile_content_hash(
+            shaped.astype(np.float32)
+        ) != tile_content_hash(shaped)
+
+
+class TestChangeModel:
+    def test_frame_zero_always_changes(self):
+        assert tile_changed("d", 0, 5, 0.0)
+
+    def test_extremes(self):
+        assert all(tile_changed("d", 3, t, 1.0) for t in range(16))
+        assert not any(tile_changed("d", 3, t, 0.0) for t in range(16))
+
+    def test_deterministic_and_fractionally_plausible(self):
+        draws = [
+            tile_changed("combustion", f, t, 0.3)
+            for f in range(1, 30)
+            for t in range(30)
+        ]
+        assert draws == [
+            tile_changed("combustion", f, t, 0.3)
+            for f in range(1, 30)
+            for t in range(30)
+        ]
+        frac = sum(draws) / len(draws)
+        assert 0.2 < frac < 0.4
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            tile_changed("d", 1, 0, 1.5)
+
+    def test_version_counts_changes_monotonically(self):
+        versions = [tile_version("d", f, 3, 0.5) for f in range(6)]
+        assert versions[0] == 1
+        assert all(b - a in (0, 1) for a, b in zip(versions, versions[1:]))
+        # versions advance exactly when the change model fires
+        for f in range(1, 6):
+            bumped = versions[f] > versions[f - 1]
+            assert bumped == tile_changed("d", f, 3, 0.5)
+
+    def test_version_rejects_negative_frames(self):
+        with pytest.raises(ValueError):
+            tile_version("d", -1, 0, 0.5)
+
+
+class TestSlabViewOrder:
+    def test_sorts_back_to_front_with_stable_ties(self):
+        assert slab_view_order([0.3, 0.1, 0.5]) == [1, 0, 2]
+        assert slab_view_order([0.5, 0.5, 0.1]) == [2, 0, 1]
+
+    def test_flip_reverses(self):
+        assert slab_view_order([0.3, 0.1, 0.5], flip=True) == [2, 0, 1]
+
+
+class TestTiledCompositeParity:
+    @pytest.mark.parametrize("tile_size", [8, 16, 13, 64])
+    def test_tiled_equals_whole_image_bitwise(self, tile_size):
+        rng = np.random.default_rng(42)
+        layers = [
+            rng.random((48, 40, 4)).astype(np.float32) for _ in range(5)
+        ]
+        grid = TileGrid(width=40, height=48, tile_size=tile_size)
+        whole = composite_stack(layers, front_to_back=False)
+        tiled = composite_tiled(layers, grid, front_to_back=False)
+        assert np.array_equal(whole, tiled)
+
+    def test_front_to_back_flag_respected(self):
+        rng = np.random.default_rng(43)
+        layers = [
+            rng.random((16, 16, 4)).astype(np.float32) for _ in range(3)
+        ]
+        grid = TileGrid(width=16, height=16, tile_size=8)
+        assert np.array_equal(
+            composite_tiled(layers, grid, front_to_back=True),
+            composite_stack(layers, front_to_back=True),
+        )
+
+    def test_empty_stack_raises(self):
+        grid = TileGrid(width=16, height=16, tile_size=8)
+        with pytest.raises(ValueError):
+            composite_tiled([], grid)
