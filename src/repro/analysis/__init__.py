@@ -14,11 +14,18 @@ buffer, the staged-pipeline credits, the live-mode locks).
   enforcing repo invariants (no wall-clock or threading in sim-only
   code, processes must yield, declared event vocabulary, no bare
   except).
+- :mod:`~repro.analysis.dataflow` / :mod:`~repro.analysis.typestate`
+  / :mod:`~repro.analysis.check` -- the ``visapult check`` static
+  analyzer: an interprocedural determinism dataflow pass and a
+  protocol typestate pass (the VIS2xx rules), gated in CI against the
+  committed ``analysis/baseline.json``.
 - :mod:`~repro.analysis.findings` -- the shared finding/report types.
 """
 
 from repro.analysis.findings import CATEGORY_TAGS, Finding, SanitizerReport
 from repro.analysis.lint import LintFinding, lint_file, lint_source, run_lint
+from repro.analysis.staticbase import CheckFinding
+from repro.analysis.check import CheckResult, run_check
 from repro.analysis.sanitizer import SimSanitizer, attach_sanitizer
 from repro.analysis.threadsan import (
     ThreadSanitizer,
@@ -45,4 +52,7 @@ __all__ = [
     "lint_source",
     "lint_file",
     "run_lint",
+    "CheckFinding",
+    "CheckResult",
+    "run_check",
 ]

@@ -113,10 +113,14 @@ class SimSanitizer:
     # -- naming -------------------------------------------------------
     def _name(self, obj: object) -> str:
         key = id(obj)
+        # vis: allow[VIS202] identity-keyed memo of live primitives;
+        # the reported name is the deterministic registration-order
+        # alias, never the id itself, and keys die with the run.
         if key not in self._prim_names:
             base = getattr(obj, "name", None) or type(obj).__name__.lower()
             n = self._name_counts.get(base, 0)
             self._name_counts[base] = n + 1
+            # vis: allow[VIS202] see above: deterministic alias store
             self._prim_names[key] = base if n == 0 else f"{base}#{n + 1}"
         return self._prim_names[key]
 
@@ -240,6 +244,8 @@ class SimSanitizer:
         state = self._buf(buffer)
         if proc is not None:
             state.consumers[proc] = None
+            # vis: allow[VIS202] identity membership on live process
+            # objects within one sanitized run; never logged/iterated.
             if id(proc) in state.shutdown_seen:
                 self._record(
                     "protocol",
@@ -257,7 +263,7 @@ class SimSanitizer:
     ) -> None:
         """SHUTDOWN was delivered to a consumer."""
         if proc is not None:
-            self._buf(buffer).shutdown_seen.add(id(proc))
+            self._buf(buffer).shutdown_seen.add(id(proc))  # vis: allow[VIS202]
 
     def on_task_done(
         self, buffer: "BoundedBuffer", proc: Optional["Process"]

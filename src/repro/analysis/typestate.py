@@ -1,0 +1,538 @@
+"""Protocol typestate checks: the VIS21x rule group of ``visapult check``.
+
+The pipeline's correctness rests on a handful of object protocols that
+runtime sanitizers can only catch when a fuzz run happens to exercise
+the broken path.  This pass proves the pairing statically:
+
+``VIS210`` (reserve/commit pairing)
+    Every scope that calls ``<buffer>.reserve()`` must also discharge
+    the credit on that buffer -- ``commit(...)``, ``cancel()`` or
+    ``release_credit()`` -- and vice versa.  Split-phase protocols are
+    honoured: the *scope* is the enclosing class (or the module's
+    free functions), so a stage that reserves in ``_run`` and commits
+    in ``_emit`` is balanced.
+``VIS211`` (render-cache claim lifecycle)
+    Every ``<cache>.begin(...)`` claim must have a ``publish(...)``
+    *and* an ``abandon(...)`` reachable on the same cache within the
+    scope -- a lead claim has exactly two legal exits, and losing the
+    abandon leg is how degraded slabs leak into the cache.
+``VIS212`` (connection open/close balance)
+    A locally-bound connection (``socket.socket(...)``,
+    ``create_connection(...)``, ``.accept(...)``, bare ``open(...)``)
+    must be closed in scope, enter a ``with`` block, or escape (be
+    returned, stored, or passed on); otherwise it leaks on every path.
+``VIS213`` (exhaustive MsgType dispatch)
+    Every ``MsgType`` enum member must have a decoder branch in the
+    protocol registry (``_TYPE_OF``); a new tile/heavy/control message
+    without one becomes a static finding, not a runtime fuzz catch.
+    Payload-less control frames are allowlisted at the member line
+    (``# vis: allow[VIS213]``).
+
+Receivers are normalized through local aliases (``cache =
+self.render_cache`` makes ``cache.begin`` and
+``self.render_cache.publish`` the same receiver), so the split-phase
+acquire/finish legs in the back end check as one protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.staticbase import CheckFinding, ParsedModule
+
+#: method name -> (protocol kind, role); role "source" opens an
+#: obligation, the listed discharge names close it
+_RESERVE_SOURCES = frozenset({"reserve"})
+_RESERVE_DISCHARGES = frozenset({"commit", "cancel", "release_credit"})
+_CLAIM_SOURCES = frozenset({"begin"})
+_CLAIM_DISCHARGES = frozenset({"publish", "abandon"})
+
+#: connection-opening callables (dotted) and method names
+_CONN_OPEN_DOTTED = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "open",
+    }
+)
+_CONN_OPEN_METHODS = frozenset({"accept"})
+_CONN_CLOSE_METHODS = frozenset({"close", "shutdown", "stop"})
+
+
+@dataclass
+class _Site:
+    """One protocol call site."""
+
+    node: ast.AST
+    receiver: str
+    method: str
+
+
+@dataclass
+class _ScopeUse:
+    """Protocol call sites collected over one class/module scope."""
+
+    name: str
+    reserve_sources: List[_Site] = field(default_factory=list)
+    reserve_discharges: List[_Site] = field(default_factory=list)
+    claim_sources: List[_Site] = field(default_factory=list)
+    claim_discharges: List[_Site] = field(default_factory=list)
+
+
+def _receiver_text(node: ast.AST, aliases: Dict[str, str]) -> str:
+    """Canonical receiver spelling with local aliases resolved."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure
+        return "<recv>"
+    head, sep, rest = text.partition(".")
+    resolved = aliases.get(head)
+    if resolved is not None:
+        return f"{resolved}{sep}{rest}" if sep else resolved
+    return text
+
+
+def _local_aliases(fn: ast.AST) -> Dict[str, str]:
+    """Map local names to the ``self.attr`` chains they alias.
+
+    Only simple, unconditional ``name = self.attr[...attr]`` bindings
+    are tracked -- enough to see through the ``cache =
+    self.render_cache`` convention without real pointer analysis.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                continue
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        parts: List[str] = []
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name) and value.id == "self" and parts:
+            aliases[target.id] = ".".join(["self"] + list(reversed(parts)))
+    return aliases
+
+
+class _ProtocolCollector(ast.NodeVisitor):
+    """Collect buffer/cache protocol call sites within one scope."""
+
+    def __init__(self, scope: _ScopeUse, aliases: Dict[str, str]):
+        self.scope = scope
+        self.aliases = aliases
+
+    # Nested functions are collected as scope members of their own;
+    # descending here would double-count their call sites.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv = _receiver_text(func.value, self.aliases)
+            site = _Site(node=node, receiver=recv, method=func.attr)
+            # The primitive's own implementation *is* the protocol;
+            # plain ``self`` receivers are exempt.  An argument-taking
+            # ``reserve(cost, ...)`` is a different API (the admission
+            # token bucket), not the buffer credit handshake.
+            if recv != "self":
+                if (
+                    func.attr in _RESERVE_SOURCES
+                    and not node.args
+                    and not node.keywords
+                ):
+                    self.scope.reserve_sources.append(site)
+                elif func.attr in _RESERVE_DISCHARGES:
+                    self.scope.reserve_discharges.append(site)
+                elif func.attr in _CLAIM_SOURCES:
+                    self.scope.claim_sources.append(site)
+                elif func.attr in _CLAIM_DISCHARGES:
+                    self.scope.claim_discharges.append(site)
+        self.generic_visit(node)
+
+
+def _check_pairing(
+    module: ParsedModule,
+    scope: _ScopeUse,
+    sources: List[_Site],
+    discharges: List[_Site],
+    code: str,
+    open_what: str,
+    close_what: str,
+    *,
+    require_all: Sequence[str] = (),
+) -> List[CheckFinding]:
+    """Unmatched source/discharge findings for one protocol kind."""
+    findings: List[CheckFinding] = []
+    discharged = {s.receiver for s in discharges}
+    discharge_methods: Dict[str, Set[str]] = {}
+    for site in discharges:
+        discharge_methods.setdefault(site.receiver, set()).add(site.method)
+    opened = {s.receiver for s in sources}
+    for site in sources:
+        if site.receiver not in discharged:
+            findings.append(
+                CheckFinding(
+                    path=module.path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset + 1,
+                    code=code,
+                    message=(
+                        f"{site.receiver}.{site.method}() opens "
+                        f"{open_what} but {scope.name} never calls "
+                        f"{close_what} on it"
+                    ),
+                )
+            )
+        elif require_all:
+            missing = sorted(
+                set(require_all) - discharge_methods[site.receiver]
+            )
+            if missing:
+                findings.append(
+                    CheckFinding(
+                        path=module.path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset + 1,
+                        code=code,
+                        message=(
+                            f"{site.receiver}.{site.method}() opens "
+                            f"{open_what} but {scope.name} has no "
+                            f"{'/'.join(missing)} leg for it"
+                        ),
+                    )
+                )
+    for site in discharges:
+        if site.receiver not in opened:
+            findings.append(
+                CheckFinding(
+                    path=module.path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset + 1,
+                    code=code,
+                    message=(
+                        f"{site.receiver}.{site.method}() discharges "
+                        f"{open_what} that {scope.name} never opens"
+                    ),
+                )
+            )
+    return findings
+
+
+def _scope_functions(
+    module: ParsedModule,
+) -> List[Tuple[str, List[ast.AST]]]:
+    """(scope name, function nodes) pairs: one per class, one for the
+    module's free functions."""
+    scopes: List[Tuple[str, List[ast.AST]]] = []
+    free: List[ast.AST] = []
+
+    def _walk(body: List[ast.stmt], into_free: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if into_free:
+                    free.append(stmt)
+                _walk(stmt.body, into_free)
+            elif isinstance(stmt, ast.ClassDef):
+                methods = [
+                    s
+                    for s in ast.walk(stmt)
+                    if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]
+                scopes.append((f"class {stmt.name}", methods))
+            else:
+                for fld in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, fld, None)
+                    if isinstance(nested, list):
+                        _walk(
+                            [s for s in nested if isinstance(s, ast.stmt)],
+                            into_free,
+                        )
+                for handler in getattr(stmt, "handlers", []) or []:
+                    _walk(handler.body, into_free)
+
+    _walk(module.tree.body, True)
+    scopes.append(("module scope", free))
+    return scopes
+
+
+def check_buffer_protocols(module: ParsedModule) -> List[CheckFinding]:
+    """VIS210/VIS211 over every class scope of one module."""
+    findings: List[CheckFinding] = []
+    for scope_name, functions in _scope_functions(module):
+        scope = _ScopeUse(name=scope_name)
+        for fn in functions:
+            aliases = _local_aliases(fn)
+            collector = _ProtocolCollector(scope, aliases)
+            for stmt in fn.body:  # type: ignore[attr-defined]
+                collector.visit(stmt)
+        findings.extend(
+            _check_pairing(
+                module,
+                scope,
+                scope.reserve_sources,
+                scope.reserve_discharges,
+                "VIS210",
+                "a buffer credit",
+                "commit()/cancel()/release_credit()",
+            )
+        )
+        findings.extend(
+            _check_pairing(
+                module,
+                scope,
+                scope.claim_sources,
+                scope.claim_discharges,
+                "VIS211",
+                "a cache claim",
+                "publish()/abandon()",
+                require_all=("publish", "abandon"),
+            )
+        )
+    return findings
+
+
+# -- VIS212: connection lifecycle -------------------------------------
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(module: ParsedModule) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _is_conn_open(node: ast.AST, imports: Dict[str, str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func, imports)
+    if dotted in _CONN_OPEN_DOTTED:
+        return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _CONN_OPEN_METHODS
+    )
+
+
+def check_connections(module: ParsedModule) -> List[CheckFinding]:
+    """VIS212: locally-bound connections must close or escape."""
+    findings: List[CheckFinding] = []
+    imports = _import_aliases(module)
+    functions = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for fn in functions:
+        opens: Dict[str, ast.AST] = {}
+        closed: Set[str] = set()
+        escaped: Set[str] = set()
+        own_statements = [
+            n
+            for n in ast.walk(fn)
+            if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or n is fn
+        ]
+        for node in own_statements:
+            if isinstance(node, ast.Assign) and _is_conn_open(
+                node.value, imports
+            ):
+                for target in node.targets:
+                    names = [target]
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        # ``conn, addr = sock.accept()``: only the
+                        # first element is the connection.
+                        names = list(target.elts[:1])
+                    for name in names:
+                        if isinstance(name, ast.Name):
+                            opens.setdefault(name.id, node.value)
+                        else:
+                            # stored straight into an attribute or
+                            # container: closed elsewhere by design
+                            pass
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if _is_conn_open(item.context_expr, imports):
+                        # ``with`` guarantees the close
+                        if isinstance(item.optional_vars, ast.Name):
+                            closed.add(item.optional_vars.id)
+                    if isinstance(item.context_expr, ast.Name):
+                        closed.add(item.context_expr.id)
+        if not opens:
+            continue
+        for node in own_statements:
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.attr in _CONN_CLOSE_METHODS
+                ):
+                    closed.add(func.value.id)
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id in opens:
+                            escaped.add(sub.id)
+            elif isinstance(node, (ast.Return, ast.Yield)):
+                if node.value is not None:
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id in opens:
+                            escaped.add(sub.id)
+            elif isinstance(node, ast.Assign):
+                target_escape = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if target_escape:
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id in opens:
+                            escaped.add(sub.id)
+        for name, open_node in opens.items():
+            if name in closed or name in escaped:
+                continue
+            findings.append(
+                CheckFinding(
+                    path=module.path,
+                    line=open_node.lineno,
+                    col=open_node.col_offset + 1,
+                    code="VIS212",
+                    message=(
+                        f"connection {name!r} opened in {fn.name}() is "
+                        "never closed, stored or handed off; it leaks "
+                        "on every path"
+                    ),
+                )
+            )
+    return findings
+
+
+# -- VIS213: MsgType decoder exhaustiveness ---------------------------
+
+
+def _enum_members(
+    module: ParsedModule,
+) -> List[Tuple[str, int, int]]:
+    """(name, line, col) of each ``MsgType`` member in this module."""
+    members: List[Tuple[str, int, int]] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "MsgType"):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        members.append(
+                            (target.id, stmt.lineno, stmt.col_offset + 1)
+                        )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                members.append(
+                    (stmt.target.id, stmt.lineno, stmt.col_offset + 1)
+                )
+    return members
+
+
+def _registry_handled(module: ParsedModule) -> Optional[Set[str]]:
+    """MsgType members appearing in this module's ``_TYPE_OF`` registry.
+
+    Returns None when the module defines no registry.
+    """
+    handled: Optional[Set[str]] = None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_TYPE_OF"
+            for t in node.targets
+        ):
+            continue
+        handled = set()
+        for sub in ast.walk(node.value):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "MsgType"
+            ):
+                handled.add(sub.attr)
+    return handled
+
+
+def check_protocol_registry(
+    modules: Sequence[ParsedModule],
+) -> List[CheckFinding]:
+    """VIS213 across the checked tree.
+
+    Fires only when both halves are visible: a module defining the
+    ``MsgType`` enum and a module defining the ``_TYPE_OF`` decoder
+    registry.  A member with no registry entry (and no allow pragma on
+    its definition line) has no decoder branch -- the exact state a
+    newly added message type starts in.
+    """
+    enum_sites: List[Tuple[ParsedModule, str, int, int]] = []
+    handled: Optional[Set[str]] = None
+    for module in modules:
+        for name, line, col in _enum_members(module):
+            enum_sites.append((module, name, line, col))
+        module_handled = _registry_handled(module)
+        if module_handled is not None:
+            handled = (handled or set()) | module_handled
+    if not enum_sites or handled is None:
+        return []
+    findings: List[CheckFinding] = []
+    for module, name, line, col in enum_sites:
+        if name in handled:
+            continue
+        findings.append(
+            CheckFinding(
+                path=module.path,
+                line=line,
+                col=col,
+                code="VIS213",
+                message=(
+                    f"MsgType.{name} has no decoder branch in the "
+                    "protocol registry (_TYPE_OF); every wire type "
+                    "needs a payload class or an allow pragma"
+                ),
+            )
+        )
+    return findings
+
+
+def analyze_module(module: ParsedModule) -> List[CheckFinding]:
+    """Run the per-module typestate rules (VIS210-VIS212)."""
+    findings: List[CheckFinding] = []
+    findings.extend(check_buffer_protocols(module))
+    findings.extend(check_connections(module))
+    return findings

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.analysis import CheckFinding, CheckResult, run_check
 from repro.backend.sim import SimBackEnd
 from repro.config import (
     BackendConfig,
@@ -66,6 +67,8 @@ __all__ = [
     "CacheConfig",
     "Campaign",
     "CampaignResult",
+    "CheckFinding",
+    "CheckResult",
     "DpssClient",
     "ExperimentConfig",
     "FaultPlan",
@@ -85,6 +88,7 @@ __all__ = [
     "load_drill",
     "named_campaign",
     "run_campaign",
+    "run_check",
     "run_experiment",
     "run_service_campaign",
 ]

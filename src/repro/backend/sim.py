@@ -411,6 +411,18 @@ class SimBackEnd:
             tile_id,
         )
 
+    def _fabric_name(self, kind: str) -> str:
+        """Deterministic fluid-resource name for this back end's fabric.
+
+        Derived from the session label (unique per session in
+        multi-viewer runs) rather than ``id(self)``, so resource
+        names, threadsan reports and ULM lifelines are stable run to
+        run.  A network can host at most one session-less back end
+        per fabric kind; the scheduler's duplicate-name check enforces
+        that loudly.
+        """
+        return f"{kind}:{self.session}" if self.session else kind
+
     # -- execution ---------------------------------------------------------
     def run(self):
         """Event that fires when every PE has processed every frame."""
@@ -419,8 +431,11 @@ class SimBackEnd:
         if self.overlapped and self.overlap_ingest_factor < 1.0:
             # Cluster nodes: the reader thread shares the single CPU
             # with the render process; NIC servicing degrades for the
-            # whole run (Figure 15 discussion).
-            for host in set(self.pe_hosts):
+            # whole run (Figure 15 discussion).  Dedup via dict keys,
+            # not a set: Host hashes by identity, so set order would
+            # vary run to run (VIS201).
+            unique_hosts = {h.name: h for h in self.pe_hosts}
+            for host in unique_hosts.values():
                 self.network.sched.set_capacity(
                     host.nic, host.nic_rate * self.overlap_ingest_factor
                 )
@@ -429,7 +444,7 @@ class SimBackEnd:
             # over the platform interconnect before the owners talk to
             # the viewer. Same fluid stand-in as the MPI fabric.
             self._tile_fabric = FluidResource(
-                f"tile-fabric:{id(self)}",
+                self._fabric_name("tile-fabric"),
                 self.interconnect_rate * self.n_render_pes,
             )
             self.network.sched.add_resource(self._tile_fabric)
@@ -437,7 +452,7 @@ class SimBackEnd:
             # One fluid resource stands in for the message-passing
             # fabric; pair transfers share it max-min.
             self._interconnect = FluidResource(
-                f"interconnect:{id(self)}",
+                self._fabric_name("interconnect"),
                 self.interconnect_rate * self.n_render_pes,
             )
             self.network.sched.add_resource(self._interconnect)

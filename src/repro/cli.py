@@ -9,6 +9,7 @@ Installed as the ``visapult`` console script::
     visapult serve-sim sc99-multiviewer --viewers 6 --scaled
     visapult bench --quick --check
     visapult lint
+    visapult check src/repro --json CHECK_findings.json
     visapult iperf --wan esnet --streams 8
     visapult artifacts --angles 0 16 45
     visapult live --pes 4 --steps 3 --overlapped
@@ -188,6 +189,23 @@ def cmd_lint(args) -> int:
     from repro.analysis.lint import main as lint_main
 
     return lint_main(args.paths)
+
+
+def cmd_check(args) -> int:
+    from repro.analysis.check import main as check_main
+
+    argv: List[str] = list(args.paths)
+    if args.json is not None:
+        argv.extend(["--json"] if args.json == "-" else ["--json", args.json])
+    if args.sarif is not None:
+        argv.extend(["--sarif", args.sarif])
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return check_main(argv)
 
 
 def cmd_iperf(args) -> int:
@@ -384,6 +402,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files/dirs to lint (default: the repro package)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="determinism & protocol-typestate analyzer (VIS2xx rules)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to check (default: the repro package)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="write the findings report as JSON "
+                        "(default stdout)")
+    p.add_argument("--sarif", default=None, metavar="PATH",
+                   help="write a SARIF 2.1.0 report for PR annotation")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline findings file "
+                        "(default: analysis/baseline.json when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline; every finding is new")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("iperf", help="probe a simulated WAN path")
     p.add_argument("--wan", choices=["nton", "nton-tuned", "esnet",

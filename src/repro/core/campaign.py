@@ -303,8 +303,11 @@ def build_session(config: CampaignConfig):
         )
         pe_hosts = [smp] * config.n_pes
 
-    # Routes: DPSS site <-> each compute host over the WAN.
-    for host in set(h.name for h in pe_hosts):
+    # Routes: DPSS site <-> each compute host over the WAN.  Dedup
+    # host names with dict keys (stable first-occurrence order), not a
+    # set: str hashes are salted per process, so set order would vary
+    # run to run (VIS201).
+    for host in dict.fromkeys(h.name for h in pe_hosts):
         net.add_route("dpss-master", host, [dpss_lan, wan])
         for i in range(DPSS_N_SERVERS):
             net.add_route(f"dpss{i}", host, [dpss_lan, wan])
@@ -328,7 +331,7 @@ def build_session(config: CampaignConfig):
             Link("viewer-lan", rate=mbps(1000.0), latency=0.0001)
         )
         viewer_links = [viewer_lan]
-    for host in set(h.name for h in pe_hosts):
+    for host in dict.fromkeys(h.name for h in pe_hosts):
         net.add_route(host, "viewer", viewer_links)
     net.add_route("dpss-master", "viewer", [dpss_lan, wan])
 

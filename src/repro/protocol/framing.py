@@ -29,6 +29,8 @@ class MsgType(IntEnum):
     LIGHT = 2
     HEAVY = 3
     AXIS_FEEDBACK = 4
+    # vis: allow[VIS213] BYE is a payload-less control frame; receive
+    # loops terminate on it before decode_message is reached.
     BYE = 5
     TILE = 6
 

@@ -107,6 +107,8 @@ class Event:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending"
         )
+        # vis: allow[VIS202] interactive-debugging repr; never reaches
+        # logs, names or simulation state.
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 

@@ -574,9 +574,12 @@ class FluidScheduler:
                 sub_seen: Set[int] = set()
                 for rname in comp.resources:
                     sub = self._comp_of(rname)
+                    # vis: allow[VIS202] identity dedup of component
+                    # objects within one solve pass; the seen-set is
+                    # never iterated, logged or carried across events.
                     if id(sub) in sub_seen:
                         continue
-                    sub_seen.add(id(sub))
+                    sub_seen.add(id(sub))  # vis: allow[VIS202]
                     comps, flows, biggest = self._settle_comp(sub, now)
                     n_components += comps
                     n_flows += flows

@@ -1,0 +1,10 @@
+"""Fixture: ``# vis: allow[...]`` pragmas suppress findings at source."""
+
+
+def identity_memo(seen, obj):
+    # vis: allow[VIS202] fixture: reviewed identity dedup, spanning a
+    # multi-line justification comment above the sink line.
+    if id(obj) in seen:
+        return True
+    seen.add(id(obj))  # vis: allow[VIS202]
+    return False

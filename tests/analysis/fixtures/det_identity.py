@@ -1,0 +1,18 @@
+"""Fixture: VIS202 id()/hash() identity escaping into names and keys."""
+
+
+class Session:
+    def __init__(self):
+        self.name = f"session:{id(self)}"  # VIS202: id() in a name
+
+
+def remember(seen, obj):
+    marker = id(obj)
+    if marker in seen:  # VIS202: identity membership test
+        return True
+    seen.add(marker)  # VIS202: identity stored in a container
+    return False
+
+
+def stable_name_is_safe(counter):
+    return f"session:{counter}"  # clean: no identity involved

@@ -1,0 +1,28 @@
+"""Fixture: VIS201 set-order iteration, plus laundered negatives."""
+
+
+def iterate_set(hosts):
+    pool = set(hosts)
+    out = []
+    for h in pool:  # VIS201: set-ordered iteration
+        out.append(h)
+    return out
+
+
+def join_set(names):
+    return ",".join(set(names))  # VIS201: set-ordered join
+
+
+def sorted_is_safe(hosts):
+    pool = set(hosts)
+    out = []
+    for h in sorted(pool):  # clean: sorted() launders the order
+        out.append(h)
+    return out
+
+
+def stable_dedup_is_safe(hosts):
+    out = []
+    for h in dict.fromkeys(hosts):  # clean: insertion-ordered dedup
+        out.append(h)
+    return out

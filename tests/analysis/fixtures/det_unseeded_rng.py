@@ -1,0 +1,15 @@
+"""Fixture: VIS203 unseeded RNG construction and module-global draws."""
+
+import random
+
+
+def fresh_rng():
+    return random.Random()  # VIS203: no seed
+
+
+def global_draw():
+    return random.random()  # VIS203: module-global RNG state
+
+
+def seeded_is_safe(seed):
+    return random.Random(seed)  # clean: explicit seed

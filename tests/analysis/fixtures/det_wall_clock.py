@@ -1,0 +1,12 @@
+"""Fixture: VIS204 wall-clock values escaping into names."""
+
+import time
+
+
+def stamp_name(prefix):
+    now = time.time()
+    return f"{prefix}-{now}"  # VIS204: wall clock in a name
+
+
+def duration_is_safe(env):
+    return env.now + 1.0  # clean: simulated clock, not wall clock

@@ -1,0 +1,20 @@
+"""Fixture: VIS211 render-cache claim lifecycle (publish AND abandon)."""
+
+
+class LossyRenderer:
+    def render(self, key):
+        claim = self.cache.begin(key)  # VIS211: no abandon leg
+        if claim.status == "lead":
+            self.cache.publish(key, 1.0)
+
+
+class FullRenderer:
+    def render(self, key, ok):
+        cache = self.cache
+        claim = cache.begin(key)  # clean: both exits present
+        if claim.status != "lead":
+            return
+        if ok:
+            self.cache.publish(key, 1.0)
+        else:
+            cache.abandon(key)

@@ -1,0 +1,26 @@
+"""Fixture: VIS212 connection open/close balance."""
+
+import socket
+
+
+def leaky(host, port):
+    conn = socket.create_connection((host, port))  # VIS212: never closed
+    conn.sendall(b"hello")
+
+
+def closes(host, port):
+    conn = socket.create_connection((host, port))  # clean: closed
+    try:
+        conn.sendall(b"hello")
+    finally:
+        conn.close()
+
+
+def hands_off(pool, host, port):
+    conn = socket.create_connection((host, port))  # clean: escapes
+    pool.adopt(conn)
+
+
+def with_block(host, port):
+    with socket.create_connection((host, port)) as conn:  # clean
+        conn.sendall(b"hello")

@@ -1,0 +1,13 @@
+"""Fixture: VIS213 MsgType decoder-registry exhaustiveness."""
+
+
+class MsgType:
+    CONFIG = 1
+    ORPHAN = 2  # VIS213: no _TYPE_OF entry
+    # vis: allow[VIS213] fixture: payload-less control frame
+    QUIT = 3
+
+
+_TYPE_OF = {
+    MsgType.CONFIG: "ConfigPayload",
+}

@@ -81,6 +81,8 @@ def test_api_facade_pinned():
         "CacheConfig",
         "Campaign",
         "CampaignResult",
+        "CheckFinding",
+        "CheckResult",
         "DpssClient",
         "ExperimentConfig",
         "FaultPlan",
@@ -100,6 +102,20 @@ def test_api_facade_pinned():
         "load_drill",
         "named_campaign",
         "run_campaign",
+        "run_check",
         "run_experiment",
         "run_service_campaign",
     ]
+
+
+def test_run_check_facade():
+    """run_check via the facade returns a populated CheckResult."""
+    from repro import api
+
+    result = api.run_check(["src/repro/analysis/staticbase.py"],
+                           use_baseline=False)
+    assert isinstance(result, api.CheckResult)
+    assert result.files_checked == 1
+    assert result.clean
+    assert result.findings == []
+    assert isinstance(result.summary(), str)
