@@ -35,8 +35,14 @@ from repro.backend.sim import SimBackEnd
 from repro.config import (
     BackendConfig,
     ExperimentConfig,
+    FlowClassConfig,
     NetworkConfig,
+    SiteLink,
+    SiteSpec,
     TileConfig,
+    TopologyConfig,
+    named_topology,
+    topology_names,
 )
 from repro.core.campaign import (
     CampaignConfig as Campaign,
@@ -50,19 +56,28 @@ from repro.dpss.client import DpssClient
 from repro.faults import FaultPlan, RequestPolicy, load_drill
 from repro.service import (
     AdmissionPolicy,
+    AdmissionVerdict,
     CacheConfig,
     ServiceCampaign,
     ServiceMetrics,
     ServiceResult,
+    ShardCampaign,
+    ShardMetrics,
+    ShardResult,
+    SiteMetrics,
     ViewerProfile,
     WorkloadSpec,
+    result_payload,
     run_service_campaign,
+    run_shard_campaign,
 )
+from repro.simcore import FlowClass, FlowClassPool
 from repro.viewer.sim import SimViewer
 from repro.volren.tiles import TileGrid
 
 __all__ = [
     "AdmissionPolicy",
+    "AdmissionVerdict",
     "BackendConfig",
     "CacheConfig",
     "Campaign",
@@ -72,41 +87,56 @@ __all__ = [
     "DpssClient",
     "ExperimentConfig",
     "FaultPlan",
+    "FlowClass",
+    "FlowClassConfig",
+    "FlowClassPool",
     "NetworkConfig",
     "RequestPolicy",
     "ServiceCampaign",
     "ServiceMetrics",
     "ServiceResult",
+    "ShardCampaign",
+    "ShardMetrics",
+    "ShardResult",
     "SimBackEnd",
     "SimViewer",
+    "SiteLink",
+    "SiteMetrics",
+    "SiteSpec",
     "TileConfig",
     "TileGrid",
+    "TopologyConfig",
     "ViewerProfile",
     "WorkloadSpec",
     "build_session",
     "campaign_names",
     "load_drill",
     "named_campaign",
+    "named_topology",
+    "result_payload",
     "run_campaign",
     "run_check",
     "run_experiment",
     "run_service_campaign",
+    "run_shard_campaign",
+    "topology_names",
 ]
 
 
 def run_experiment(
-    config: Union[ExperimentConfig, Campaign, ServiceCampaign],
+    config: Union[ExperimentConfig, Campaign, ServiceCampaign, ShardCampaign],
     *,
     sanitize: Optional[bool] = None,
     ulm_path: Optional[str] = None,
-) -> CampaignResult:
+) -> Union[CampaignResult, ShardResult]:
     """Run one experiment end to end and reduce the results.
 
     ``config`` may be an :class:`ExperimentConfig` (resolved through
     the named-campaign registry, honouring its ``sanitize`` flag), a
-    concrete :class:`Campaign`, or a :class:`ServiceCampaign`
-    (returning a :class:`ServiceResult`). ``sanitize`` overrides the
-    config's setting when given; ``ulm_path`` writes the ULM event log.
+    concrete :class:`Campaign`, a :class:`ServiceCampaign` (returning
+    a :class:`ServiceResult`), or a :class:`ShardCampaign` (returning
+    a :class:`ShardResult`). ``sanitize`` overrides the config's
+    setting when given; ``ulm_path`` writes the ULM event log.
     """
     if isinstance(config, ExperimentConfig):
         if sanitize is None:

@@ -7,7 +7,9 @@ Installed as the ``visapult`` console script::
     visapult campaign lan_e4500 --scaled --sanitize
     visapult campaign --faults examples/plans/sc99_flaky.json --sanitize
     visapult serve-sim sc99-multiviewer --viewers 6 --scaled
+    visapult serve-sim sc99-serve10k --sessions 2000 --flow-classes on
     visapult bench --quick --check
+    visapult bench --suite shard --quick --check
     visapult lint
     visapult check src/repro --json CHECK_findings.json
     visapult iperf --wan esnet --streams 8
@@ -25,12 +27,37 @@ from repro._version import __version__
 
 
 def cmd_list(_args) -> int:
+    from repro.config import topology_names
     from repro.core import campaign_names
 
     print("available campaigns:")
     for name in campaign_names():
         print(f"  {name}")
+    print("available topologies (serve-sim --topology):")
+    for name in topology_names():
+        print(f"  {name}")
     return 0
+
+
+def _write_payload(path: str, payload, label: str) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"{label} -> {path}")
+
+
+def _result_to_payload(result):
+    """The versioned JSON envelope for any campaign result kind."""
+    from repro.service.metrics import result_payload
+
+    if hasattr(result, "to_payload"):  # ShardResult
+        return result.to_payload()
+    service = getattr(result, "service", None)
+    if service is not None:  # ServiceResult
+        return result_payload("service", service)
+    return result_payload("campaign", result.metrics_dict())
 
 
 def cmd_campaign(args) -> int:
@@ -77,32 +104,107 @@ def cmd_campaign(args) -> int:
         alloc_stats=args.alloc_stats,
     )
     print(result.summary())
-    if args.nlv:
+    if args.json is not None:
+        _write_payload(args.json, _result_to_payload(result), "result")
+    if args.nlv and hasattr(result, "event_log"):
         print()
         print(lifeline_plot(result.event_log, width=args.width))
     if args.sanitize:
         from repro.analysis import SanitizerReport
 
-        report = SanitizerReport(findings=result.sanitizer_findings)
+        report = SanitizerReport(
+            findings=getattr(result, "sanitizer_findings", [])
+        )
         print(report.summary())
         if not report.clean:
             return 1
     return 0
 
 
+def _serve_shard(args, config) -> int:
+    """serve-sim over a :class:`~repro.service.shard.ShardCampaign`."""
+    from repro.config import FlowClassConfig, named_topology
+    from repro.core import run_campaign
+
+    for flag in ("scaled", "no_cache", "tiles"):
+        if getattr(args, flag):
+            print(
+                f"--{flag.replace('_', '-')} applies to full-world "
+                "service campaigns, not shard campaigns",
+                file=sys.stderr,
+            )
+            return 2
+    if args.topology is not None:
+        from dataclasses import replace
+
+        try:
+            topology = named_topology(args.topology)
+        except KeyError as exc:
+            print(f"{exc.args[0]}; try 'visapult list'", file=sys.stderr)
+            return 2
+        # Profiles pinned to sites the new topology lacks fall back
+        # to round-robin homing.
+        known = set(topology.site_names)
+        profiles = tuple(
+            replace(p, region=None)
+            if p.region is not None and p.region not in known
+            else p
+            for p in config.workload.profiles
+        )
+        config = config.with_changes(
+            topology=topology,
+            workload=config.workload.with_changes(profiles=profiles),
+        )
+    if args.flow_classes is not None:
+        config = config.with_changes(
+            flow_classes=FlowClassConfig(
+                enabled=args.flow_classes == "on"
+            )
+        )
+    sessions = args.sessions if args.sessions is not None else args.viewers
+    if sessions is not None:
+        config = config.with_changes(
+            workload=config.workload.with_changes(n_viewers=sessions)
+        )
+    if args.frames is not None:
+        config = config.with_changes(frames=args.frames)
+    if args.seed is not None:
+        config = config.with_changes(seed=args.seed)
+    result = run_campaign(config, ulm_path=args.ulm)
+    print(result.summary())
+    if args.json is not None:
+        _write_payload(args.json, result.to_payload(), "shard metrics")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.core import named_campaign, run_campaign
     from repro.service import CacheConfig, ServiceCampaign
+    from repro.service.shard import ShardCampaign
 
     try:
         config = named_campaign(args.name)
     except KeyError as exc:
         print(f"{exc.args[0]}; try 'visapult list'", file=sys.stderr)
         return 2
+    if isinstance(config, ShardCampaign):
+        return _serve_shard(args, config)
     if not isinstance(config, ServiceCampaign):
         print(
             f"{args.name!r} is a single-session campaign; "
             "use 'visapult campaign'",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.topology is not None
+        or args.flow_classes is not None
+        or args.sessions is not None
+    ):
+        print(
+            f"{args.name!r} is a full-world service campaign; "
+            "--topology/--flow-classes/--sessions apply to shard "
+            "campaigns (try sc99-serve10k)",
             file=sys.stderr,
         )
         return 2
@@ -141,12 +243,9 @@ def cmd_serve(args) -> int:
     )
     print(result.summary())
     if args.json is not None:
-        import json
-
-        with open(args.json, "w") as fh:
-            json.dump(result.service.to_dict(), fh, indent=2)
-            fh.write("\n")
-        print(f"service metrics -> {args.json}")
+        _write_payload(
+            args.json, _result_to_payload(result), "service metrics"
+        )
     return 0
 
 
@@ -158,6 +257,11 @@ def cmd_bench(args) -> int:
 
         results = suite_mod.run_suite(quick=args.quick)
         default_baseline = "benchmarks/perf/baseline_render.json"
+    elif args.suite == "shard":
+        from repro.core import bench_shard as suite_mod  # type: ignore[no-redef]
+
+        results = suite_mod.run_suite(quick=args.quick)
+        default_baseline = "benchmarks/perf/baseline_shard.json"
     else:
         from repro.core import bench as suite_mod  # type: ignore[no-redef]
 
@@ -346,6 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile-routed transport with delta transmission")
     p.add_argument("--tile-size", type=int, default=None, metavar="PX",
                    help="screen tile edge in pixels (default 32)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the versioned result payload to this file")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
@@ -374,14 +480,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "and the tile-keyed shared cache")
     p.add_argument("--tile-size", type=int, default=None, metavar="PX",
                    help="screen tile edge in pixels (default 32)")
+    p.add_argument("--topology", default=None, metavar="NAME",
+                   help="shard campaigns: serve over this named "
+                        "multi-site topology (see 'visapult list')")
+    p.add_argument("--flow-classes", choices=["on", "off"], default=None,
+                   help="shard campaigns: aggregate same-profile "
+                        "sessions into flow classes (on) or run the "
+                        "per-session oracle allocator (off)")
+    p.add_argument("--sessions", type=int, default=None,
+                   help="shard campaigns: total offered sessions "
+                        "(alias of --viewers)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "bench", help="run the performance benchmark suites"
     )
-    p.add_argument("--suite", choices=["fluid", "render"], default="fluid",
+    p.add_argument("--suite", choices=["fluid", "render", "shard"],
+                   default="fluid",
                    help="fluid: allocator speedups; render: tile wire "
-                        "savings + compositing + orbit cache")
+                        "savings + compositing + orbit cache; shard: "
+                        "flow-class aggregation vs per-session flows")
     p.add_argument("--quick", action="store_true",
                    help="small workloads (CI-sized; scaled e2e campaign)")
     p.add_argument("--no-e2e", action="store_true",

@@ -21,11 +21,12 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RequestPolicy
 from repro.netsim.tcp import TcpParams
+from repro.util.units import MB, mbps
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.dpss
     from repro.dpss.compression import CompressionModel
@@ -118,6 +119,229 @@ class TileConfig:
 
 
 @dataclass(frozen=True)
+class SiteSpec:
+    """One serving site: a DPSS cache with an edge serving the region.
+
+    The paper's architecture is inherently multi-site -- DPSS caches
+    near the data, back ends near the compute, viewers at the edge --
+    and a :class:`SiteSpec` names one such point of presence. Rates
+    are bytes/s; ``max_sessions``/``queue_depth`` drive the site's
+    Icarus-style admission gate (``None`` = unlimited slots);
+    ``cache_bytes`` sizes the site's edge render cache (0 = off);
+    ``dpss_cache_bytes`` warms the site's DPSS block servers.
+    """
+
+    name: str
+    dpss_rate: float = mbps(1000.0)
+    edge_rate: float = mbps(1000.0)
+    max_sessions: Optional[int] = None
+    queue_depth: int = 0
+    cache_bytes: float = 0.0
+    dpss_cache_bytes: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        for attr in ("dpss_rate", "edge_rate", "cache_bytes",
+                     "dpss_cache_bytes"):
+            if getattr(self, attr) < 0:
+                raise ValueError(
+                    f"{attr} must be >= 0, got {getattr(self, attr)}"
+                )
+        if self.max_sessions is not None and self.max_sessions < 0:
+            raise ValueError(
+                f"max_sessions must be >= 0, got {self.max_sessions}"
+            )
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+
+    def with_changes(self, **changes: Any) -> "SiteSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SiteLink:
+    """A dedicated inter-site WAN link (bytes/s each direction)."""
+
+    a: str
+    b: str
+    rate: float
+
+    def __post_init__(self):
+        if not self.a or not self.b:
+            raise ValueError("link endpoints must be non-empty")
+        if self.a == self.b:
+            raise ValueError(f"link endpoints must differ, got {self.a!r}")
+        if self.rate <= 0:
+            raise ValueError(f"link rate must be > 0, got {self.rate}")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """A multi-region serving fabric: sites, inter-site WAN, placement.
+
+    ``links`` are dedicated site pairs; any pair without a dedicated
+    link shares the ``core_rate`` WAN core bus (0 disables spilling
+    over undeclared paths). ``placement`` picks the serving site for
+    each arrival:
+
+    - ``"nearest"`` -- serve at the home site, spill to the least
+      loaded remote site only when home is saturated;
+    - ``"least-loaded"`` -- always serve at the least loaded site
+      (home breaks ties).
+
+    ``spill=False`` pins every session to its home site (saturation
+    queues or rejects instead of spilling).
+    """
+
+    sites: Tuple[SiteSpec, ...] = (SiteSpec(name="local"),)
+    links: Tuple[SiteLink, ...] = ()
+    placement: str = "nearest"
+    spill: bool = True
+    core_rate: float = mbps(622.0)
+
+    def __post_init__(self):
+        if not self.sites:
+            raise ValueError("topology needs at least one site")
+        names = [s.name for s in self.sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names in {names}")
+        if self.placement not in ("nearest", "least-loaded"):
+            raise ValueError(
+                f"placement must be 'nearest' or 'least-loaded', "
+                f"got {self.placement!r}"
+            )
+        if self.core_rate < 0:
+            raise ValueError(
+                f"core_rate must be >= 0, got {self.core_rate}"
+            )
+        known = set(names)
+        seen_pairs = set()
+        for link in self.links:
+            for end in (link.a, link.b):
+                if end not in known:
+                    raise ValueError(
+                        f"link {link.a}-{link.b} references unknown "
+                        f"site {end!r}"
+                    )
+            pair = (min(link.a, link.b), max(link.a, link.b))
+            if pair in seen_pairs:
+                raise ValueError(
+                    f"duplicate link between {pair[0]!r} and {pair[1]!r}"
+                )
+            seen_pairs.add(pair)
+
+    def with_changes(self, **changes: Any) -> "TopologyConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def site_names(self) -> Tuple[str, ...]:
+        """Site names in declaration order."""
+        return tuple(s.name for s in self.sites)
+
+    def site(self, name: str) -> SiteSpec:
+        """Look up a site by name."""
+        for s in self.sites:
+            if s.name == name:
+                return s
+        raise KeyError(f"unknown site {name!r}")
+
+    @classmethod
+    def single_site(cls, **site_changes: Any) -> "TopologyConfig":
+        """The degenerate one-site fabric (the pre-shard serving layer)."""
+        return cls(sites=(SiteSpec(name="local").with_changes(**site_changes),))
+
+
+@dataclass(frozen=True)
+class FlowClassConfig:
+    """Allocator aggregation mode for the sharded serving layer.
+
+    ``enabled=True`` aggregates same-profile sessions into one fluid
+    flow per class (allocator cost scales with profile count);
+    ``enabled=False`` is the per-session oracle -- one flow per
+    session, PR 5 style -- which parity tests pin the aggregate mode
+    against bitwise.
+    """
+
+    enabled: bool = True
+
+    def with_changes(self, **changes: Any) -> "FlowClassConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def _sc99_wan_topology() -> TopologyConfig:
+    """Three paper sites: the LBL DPSS, ANL, and the SC99 floor."""
+    return TopologyConfig(
+        sites=(
+            SiteSpec(name="lbl", dpss_rate=mbps(2000.0),
+                     edge_rate=mbps(1000.0), max_sessions=64,
+                     queue_depth=256, cache_bytes=256 * MB),
+            SiteSpec(name="anl", dpss_rate=mbps(1000.0),
+                     edge_rate=mbps(622.0), max_sessions=48,
+                     queue_depth=256, cache_bytes=128 * MB),
+            SiteSpec(name="showfloor", dpss_rate=mbps(1000.0),
+                     edge_rate=mbps(1500.0), max_sessions=48,
+                     queue_depth=256, cache_bytes=128 * MB),
+        ),
+        links=(
+            SiteLink("lbl", "anl", mbps(622.0)),
+            SiteLink("lbl", "showfloor", mbps(1500.0)),
+        ),
+        placement="nearest",
+        core_rate=mbps(622.0),
+    )
+
+
+def _serve10k_topology() -> TopologyConfig:
+    """Four equal regions sized for the 10k-session scale campaign."""
+    sites = tuple(
+        SiteSpec(
+            name=f"region{i}",
+            dpss_rate=mbps(4000.0),
+            edge_rate=mbps(4000.0),
+            max_sessions=400,
+            queue_depth=10000,
+            cache_bytes=512 * MB,
+        )
+        for i in range(4)
+    )
+    return TopologyConfig(
+        sites=sites, placement="nearest", core_rate=mbps(2500.0)
+    )
+
+
+#: Named topology registry: name -> factory. The CLI's ``--topology``
+#: flag and :class:`ExperimentConfig.topology` resolve through this.
+_NAMED_TOPOLOGIES: Dict[str, Callable[[], TopologyConfig]] = {
+    "single-site": TopologyConfig.single_site,
+    "sc99-wan": _sc99_wan_topology,
+    "serve10k": _serve10k_topology,
+}
+
+
+def topology_names() -> List[str]:
+    """Names accepted by :func:`named_topology`, sorted."""
+    return sorted(_NAMED_TOPOLOGIES)
+
+
+def named_topology(name: str) -> TopologyConfig:
+    """Resolve a topology by its registry name."""
+    try:
+        factory = _NAMED_TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; known: "
+            f"{', '.join(topology_names())}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
 class BackendConfig:
     """The parallel back end's run mode and tuning.
 
@@ -181,6 +405,13 @@ class ExperimentConfig:
     policy: Optional[RequestPolicy] = None
     tiles: bool = False
     tile_size: Optional[int] = None
+    #: named multi-site topology for shard campaigns (``visapult list``
+    #: of :func:`topology_names`); ``None`` keeps the campaign default
+    topology: Optional[str] = None
+    #: flow-class aggregation override for shard campaigns; ``None``
+    #: keeps the campaign default, ``False`` forces the per-session
+    #: oracle allocator
+    flow_classes: Optional[bool] = None
 
     def with_changes(self, **changes: Any) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
@@ -211,6 +442,8 @@ class ExperimentConfig:
             policy=policy_from_spec(data.get("policy")),
             tiles=bool(data.get("tiles", False)),
             tile_size=data.get("tile_size"),
+            topology=data.get("topology"),
+            flow_classes=data.get("flow_classes"),
         )
 
     @classmethod
@@ -237,6 +470,10 @@ class ExperimentConfig:
             out["tiles"] = True
         if self.tile_size is not None:
             out["tile_size"] = self.tile_size
+        if self.topology is not None:
+            out["topology"] = self.topology
+        if self.flow_classes is not None:
+            out["flow_classes"] = self.flow_classes
         return json.dumps(out, indent=indent)
 
     def _tile_config(self) -> Optional[TileConfig]:
@@ -253,6 +490,25 @@ class ExperimentConfig:
         from repro.core.campaign import named_campaign
 
         config = named_campaign(self.campaign, overlapped=self.overlapped)
+        if hasattr(config, "flow_classes"):
+            # A shard campaign: topology-first knobs apply directly.
+            changes: Dict[str, Any] = {}
+            if self.topology is not None:
+                changes["topology"] = named_topology(self.topology)
+            if self.flow_classes is not None:
+                changes["flow_classes"] = FlowClassConfig(
+                    enabled=self.flow_classes
+                )
+            if self.seed is not None:
+                changes["seed"] = self.seed
+            if self.frames is not None:
+                changes["frames"] = self.frames
+            return config.with_changes(**changes) if changes else config
+        if self.topology is not None or self.flow_classes is not None:
+            raise ValueError(
+                f"campaign {self.campaign!r} is not a shard campaign; "
+                f"topology/flow_classes apply to shard campaigns only"
+            )
         if not hasattr(config, "n_timesteps"):
             # A service campaign: the single-session knobs apply to its
             # base config, the seed to the service run as a whole.

@@ -1,0 +1,136 @@
+"""Shard-serving benchmark: flow-class aggregation vs per-session flows.
+
+The tentpole claim of the sharded serving layer is that allocator cost
+scales with the number of *flow classes*, not sessions: the
+``sc99-serve10k`` campaign admits 10,000 sessions across four regions
+and must finish in minutes of wall clock. This suite runs that
+campaign twice -- once with flow-class aggregation, once with the
+bitwise-pinned per-session oracle -- asserts the two agree (same
+makespan, everything admitted), and gates on the wall-clock speedup.
+
+Payload shape mirrors :mod:`repro.core.bench` so CI shares one
+``check_floors`` gate::
+
+    visapult bench --suite shard --quick --output BENCH_shard.json --check
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.core.bench import REGRESSION_TOLERANCE, check_floors
+
+__all__ = [
+    "bench_serve10k",
+    "run_suite",
+    "check_regression",
+    "write_results",
+    "summary",
+]
+
+
+def bench_serve10k(
+    aggregate: bool, *, n_sessions: int
+) -> Tuple[float, Dict[str, Any]]:
+    """One timed sc99-serve10k run: (wall seconds, simulated facts).
+
+    The wall clock rides separately from the facts dict so simulated
+    quantities (makespan, admission counts) stay clean for
+    deterministic comparison and reporting.
+    """
+    from repro.config import FlowClassConfig
+    from repro.service.shard import ShardCampaign, run_shard_campaign
+
+    config = ShardCampaign.sc99_serve10k(n_sessions=n_sessions)
+    if not aggregate:
+        config = config.with_changes(
+            flow_classes=FlowClassConfig(enabled=False)
+        )
+    start = time.perf_counter()
+    result = run_shard_campaign(config)
+    wall = time.perf_counter() - start
+    service = result.metrics.service
+    return wall, {
+        "makespan_s": result.total_time,
+        "admitted": service.admitted,
+        "completed": service.completed,
+        "rejected": service.rejected,
+        "flows_touched": result.alloc.get("flows_touched", 0),
+    }
+
+
+def _assert_parity(
+    oracle: Dict[str, Any], aggregate: Dict[str, Any], n_sessions: int
+) -> None:
+    """The suite's correctness gate: same simulated run, everyone in."""
+    if aggregate["makespan_s"] != oracle["makespan_s"]:
+        raise AssertionError(
+            f"flow-class aggregation changed the simulated makespan: "
+            f"{aggregate['makespan_s']} != {oracle['makespan_s']}"
+        )
+    if aggregate["admitted"] != n_sessions:
+        raise AssertionError(
+            f"serve10k must admit every session: "
+            f"{aggregate['admitted']} of {n_sessions}"
+        )
+
+
+def run_suite(*, quick: bool = False) -> Dict[str, Any]:
+    """Run the shard suite; returns the BENCH_shard payload."""
+    n_sessions = 2000 if quick else 10000
+    oracle_wall, oracle = bench_serve10k(False, n_sessions=n_sessions)
+    agg_wall, aggregate = bench_serve10k(True, n_sessions=n_sessions)
+    _assert_parity(oracle, aggregate, n_sessions)
+    speedup = oracle_wall / agg_wall if agg_wall > 0 else 0.0
+    return {
+        "suite": "shard-serving",
+        "quick": quick,
+        "benchmarks": {
+            "serve10k": {
+                "sessions": n_sessions,
+                "oracle": dict(oracle, wall_s=round(oracle_wall, 4)),
+                "aggregate": dict(aggregate, wall_s=round(agg_wall, 4)),
+                "speedup": round(speedup, 3),
+            }
+        },
+    }
+
+
+def _speedups(results: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        name: entry["speedup"]
+        for name, entry in results.get("benchmarks", {}).items()
+    }
+
+
+def check_regression(
+    results: Dict[str, Any],
+    baseline: Dict[str, float],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Gate the measured speedups against the checked-in floors."""
+    return check_floors(_speedups(results), baseline, tolerance=tolerance)
+
+
+def write_results(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def summary(results: Dict[str, Any]) -> str:
+    lines = ["shard benchmarks (per-session oracle -> flow classes):"]
+    for name, entry in results.get("benchmarks", {}).items():
+        oracle = entry["oracle"]
+        aggregate = entry["aggregate"]
+        lines.append(
+            f"  {name:22s} {oracle['wall_s']:8.3f}s -> "
+            f"{aggregate['wall_s']:8.3f}s  ({entry['speedup']:.2f}x, "
+            f"{entry['sessions']} sessions, "
+            f"{aggregate['flows_touched']} vs "
+            f"{oracle['flows_touched']} flows touched)"
+        )
+    return "\n".join(lines)

@@ -10,7 +10,7 @@ frame loop, and returns a :class:`~repro.core.report.CampaignResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.backend.sim import SimBackEnd
 from repro.config import BackendConfig, NetworkConfig, TileConfig
@@ -195,6 +195,13 @@ def _sc99_multiviewer_factory(overlapped: bool):
     return ServiceCampaign.sc99_multiviewer()
 
 
+def _sc99_serve10k_factory(overlapped: bool):
+    # Lazy for the same reason as the multiviewer entry.
+    from repro.service.shard import ShardCampaign
+
+    return ShardCampaign.sc99_serve10k()
+
+
 #: The runnable campaign registry: name -> factory(overlapped). Most
 #: entries yield a :class:`CampaignConfig`; service entries yield a
 #: :class:`repro.service.ServiceCampaign` (run via
@@ -202,6 +209,7 @@ def _sc99_multiviewer_factory(overlapped: bool):
 #: :func:`run_campaign` dispatches to automatically).
 _NAMED_CAMPAIGNS: Dict[str, Callable[[bool], object]] = {
     "sc99-multiviewer": _sc99_multiviewer_factory,
+    "sc99-serve10k": _sc99_serve10k_factory,
     "lan_e4500": lambda ov: CampaignConfig.lan_e4500(overlapped=ov),
     "nton_cplant4": lambda ov: CampaignConfig.nton_cplant(
         n_pes=4, overlapped=ov
@@ -434,9 +442,9 @@ def attach_alloc_logger(net, daemon, *, sample_every: int = 200):
 
 
 def run_campaign(
-    config: CampaignConfig, *, sanitize: bool = False,
+    config: Any, *, sanitize: bool = False,
     ulm_path: Optional[str] = None, alloc_stats: bool = False,
-) -> CampaignResult:
+) -> Any:
     """Build and run a campaign to completion; reduce the results.
 
     With ``sanitize=True`` the concurrency sanitizer observes the run
@@ -452,10 +460,17 @@ def run_campaign(
     :func:`named_campaign` for the multi-viewer entries) dispatches to
     :func:`repro.service.run_service_campaign` and returns its
     :class:`repro.service.ServiceResult` (a :class:`CampaignResult`
-    subclass).
+    subclass). A :class:`repro.service.shard.ShardCampaign` dispatches
+    to :func:`repro.service.shard.run_shard_campaign` and returns its
+    :class:`~repro.service.shard.ShardResult` (which is *not* a
+    :class:`CampaignResult` -- the shard layer models flows, not
+    pipelines; ``sanitize``/``alloc_stats`` do not apply).
     """
     from repro.service.manager import ServiceCampaign, run_service_campaign
+    from repro.service.shard import ShardCampaign, run_shard_campaign
 
+    if isinstance(config, ShardCampaign):
+        return run_shard_campaign(config, ulm_path=ulm_path)
     if isinstance(config, ServiceCampaign):
         return run_service_campaign(
             config, sanitize=sanitize, ulm_path=ulm_path,

@@ -166,6 +166,32 @@ class CampaignResult:
         N seconds" quantity)."""
         return self.total_time / self.n_frames if self.n_frames else 0.0
 
+    def metrics_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready numbers for the versioned result payload
+        (:func:`repro.service.metrics.result_payload`)."""
+        return {
+            "total_time": self.total_time,
+            "n_frames": self.n_frames,
+            "seconds_per_timestep": self.seconds_per_timestep,
+            "mean_load": self.mean_load,
+            "std_load": self.std_load,
+            "mean_render": self.mean_render,
+            "std_render": self.std_render,
+            "load_throughput_mbps": self.load_throughput_mbps,
+            "wan_capacity_mbps": self.wan_capacity_mbps,
+            "wan_utilization": self.wan_utilization,
+            "backend_to_viewer_bytes": self.backend_to_viewer_bytes,
+            "dpss_to_backend_bytes": self.dpss_to_backend_bytes,
+            "viewer_frames_complete": self.viewer_frames_complete,
+            "degraded_frames": self.degraded_frames,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "recovery_seconds": self.recovery_seconds,
+            "tiles_full": self.tiles_full,
+            "tiles_ref": self.tiles_ref,
+            "tile_bytes_saved": self.tile_bytes_saved,
+        }
+
     def summary(self) -> str:
         """A human-readable result block."""
         cfg = self.config

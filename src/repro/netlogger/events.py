@@ -81,6 +81,10 @@ class Tags:
     SVC_REJECT = "SVC_REJECT"
     SVC_START = "SVC_START"
     SVC_END = "SVC_END"
+    #: shard layer: the placement decision (serving site + verdict)
+    SVC_PLACE = "SVC_PLACE"
+    #: shard layer: a saturated home site spilling to a remote site
+    SVC_SPILL = "SVC_SPILL"
 
     # -- shared render cache (repro.service.cache): lookup outcomes and
     # LRU bookkeeping, keyed (dataset, timestep, axis, slab) -----------
@@ -156,6 +160,8 @@ SERVICE_TAGS = (
     Tags.SVC_REJECT,
     Tags.SVC_START,
     Tags.SVC_END,
+    Tags.SVC_PLACE,
+    Tags.SVC_SPILL,
 )
 
 CACHE_TAGS = (

@@ -23,6 +23,7 @@ models all of them:
 
 from repro.netsim.link import Link
 from repro.netsim.host import Host
+from repro.netsim.sites import SiteFabric
 from repro.netsim.topology import Network, Route
 from repro.netsim.tcp import TcpConnection, TcpParams, TransferStats
 from repro.netsim.striped import StripedConnection
@@ -33,6 +34,7 @@ __all__ = [
     "Host",
     "Network",
     "Route",
+    "SiteFabric",
     "TcpConnection",
     "TcpParams",
     "TransferStats",

@@ -14,30 +14,65 @@ latency, time-to-first-frame, sustained frame rates, cache hit ratio,
 p50/p95/p99 tails).
 """
 
-from repro.service.admission import AdmissionPolicy, TokenBucket
-from repro.service.cache import CacheConfig, CacheStats, RenderCache
+from repro.service.admission import (
+    AdmissionPolicy,
+    AdmissionVerdict,
+    SlotQueue,
+    TokenBucket,
+)
+from repro.service.cache import (
+    CacheConfig,
+    CacheStats,
+    EdgeCacheModel,
+    RenderCache,
+)
 from repro.service.manager import (
     ServiceCampaign,
     ServiceResult,
     SessionManager,
     run_service_campaign,
 )
-from repro.service.metrics import ServiceMetrics, SessionRecord, percentile
+from repro.service.metrics import (
+    RESULT_SCHEMA_VERSION,
+    ServiceMetrics,
+    SessionRecord,
+    ShardMetrics,
+    SiteMetrics,
+    percentile,
+    result_payload,
+)
+from repro.service.shard import (
+    ShardCampaign,
+    ShardResult,
+    ShardedSessionManager,
+    run_shard_campaign,
+)
 from repro.service.workload import ViewerProfile, WorkloadSpec
 
 __all__ = [
     "AdmissionPolicy",
+    "AdmissionVerdict",
     "CacheConfig",
     "CacheStats",
+    "EdgeCacheModel",
+    "RESULT_SCHEMA_VERSION",
     "RenderCache",
     "ServiceCampaign",
     "ServiceMetrics",
     "ServiceResult",
     "SessionManager",
     "SessionRecord",
+    "ShardCampaign",
+    "ShardMetrics",
+    "ShardResult",
+    "ShardedSessionManager",
+    "SiteMetrics",
+    "SlotQueue",
     "TokenBucket",
     "ViewerProfile",
     "WorkloadSpec",
     "percentile",
+    "result_payload",
     "run_service_campaign",
+    "run_shard_campaign",
 ]

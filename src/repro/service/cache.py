@@ -197,3 +197,60 @@ class RenderCache:
             self.logger.log(
                 Tags.CACHE_EVICT, nbytes=round(old.nbytes), **fields
             )
+
+
+class EdgeCacheModel:
+    """Byte-budget LRU occupancy model for a shard site's edge cache.
+
+    The sharded serving layer models sessions as fluid transfers, not
+    full render pipelines, so its per-site render cache only needs the
+    *occupancy* half of :class:`RenderCache`: which working sets are
+    resident under an LRU byte budget. ``lookup`` resolves immediately
+    -- a hit means the site already holds the profile's rendered
+    frames (the session skips the DPSS leg), a miss charges the bytes
+    and evicts LRU losers. Coalescing/claims are unnecessary because
+    the model inserts at decision time and entries are immutable.
+
+    Counters land in the same :class:`CacheStats` shape the full cache
+    uses, so service metrics aggregate both identically.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        check_non_negative("capacity_bytes", capacity_bytes)
+        self.capacity_bytes = float(capacity_bytes)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: CacheKey, nbytes: float) -> bool:
+        """True on a resident hit; a miss inserts ``nbytes`` under LRU.
+
+        A zero-capacity model never hits and never stores (the cache
+        is off); an entry larger than the whole budget is a miss that
+        is not retained, mirroring :meth:`RenderCache._insert`.
+        """
+        if self.capacity_bytes <= 0:
+            self.stats.misses += 1
+            return False
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        nbytes = float(nbytes)
+        if nbytes > self.capacity_bytes:
+            return False
+        self._entries[key] = _Entry(nbytes)
+        self.stats.bytes_cached += nbytes
+        self.stats.inserts += 1
+        while self.stats.bytes_cached > self.capacity_bytes:
+            _old_key, old = self._entries.popitem(last=False)
+            self.stats.bytes_cached -= old.nbytes
+            self.stats.evictions += 1
+        return False

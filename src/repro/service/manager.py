@@ -24,14 +24,20 @@ multiplexing to do.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Deque, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.backend.sim import SimBackEnd
-from repro.config import BackendConfig, NetworkConfig, TileConfig
+from repro.config import (
+    BackendConfig,
+    NetworkConfig,
+    SiteSpec,
+    TileConfig,
+    TopologyConfig,
+    warn_deprecated_kwarg,
+)
 from repro.core.campaign import CampaignConfig
 from repro.core.platforms import (
     DPSS_DISK_RATE,
@@ -54,11 +60,15 @@ from repro.netsim.host import Host
 from repro.netsim.link import Link
 from repro.netsim.tcp import TcpParams
 from repro.netsim.topology import Network
-from repro.service.admission import AdmissionPolicy, TokenBucket
+from repro.service.admission import (
+    AdmissionPolicy,
+    QueueFull,
+    SlotQueue,
+    TokenBucket,
+)
 from repro.service.cache import CacheConfig, CacheStats, RenderCache
 from repro.service.metrics import ServiceMetrics, SessionRecord
 from repro.service.workload import ViewerProfile, WorkloadSpec
-from repro.simcore.events import Event
 from repro.simcore.process import Process
 from repro.util.rng import spawn_rngs
 from repro.util.units import KIB, MB, bytes_per_sec_to_mbps, mbps
@@ -83,11 +93,42 @@ class ServiceCampaign:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     cache: CacheConfig = field(default_factory=CacheConfig)
-    #: DPSS block-server RAM cache shared across sessions, bytes;
-    #: 0 keeps the single-session campaigns' cold-read behaviour
+    #: deprecated flat knob -- pass ``topology`` with a site-level
+    #: ``dpss_cache_bytes`` instead (kept as a shim for one release)
     dpss_cache_bytes: float = 0.0
     #: overrides ``base.seed`` for the whole service run when set
     seed: Optional[int] = None
+    #: the serving fabric; ``None`` means the historical single local
+    #: site. A full-world ServiceCampaign stays single-site -- the
+    #: lightweight multi-site model is
+    #: :class:`repro.service.shard.ShardCampaign`.
+    topology: Optional[TopologyConfig] = None
+
+    def __post_init__(self):
+        if self.dpss_cache_bytes != 0.0:
+            if self.topology is not None:
+                raise ValueError(
+                    "pass dpss_cache_bytes through the topology's "
+                    "SiteSpec, not both"
+                )
+            warn_deprecated_kwarg(
+                "ServiceCampaign",
+                "dpss_cache_bytes",
+                "topology=TopologyConfig.single_site(dpss_cache_bytes=...)",
+            )
+        if self.topology is not None and len(self.topology.sites) != 1:
+            raise ValueError(
+                f"ServiceCampaign runs one full-world site; got "
+                f"{len(self.topology.sites)} sites -- use "
+                f"repro.service.shard.ShardCampaign for multi-site runs"
+            )
+
+    @property
+    def site(self) -> SiteSpec:
+        """The effective (single) site spec this campaign serves from."""
+        if self.topology is not None:
+            return self.topology.sites[0]
+        return SiteSpec(name="local", dpss_cache_bytes=self.dpss_cache_bytes)
 
     @property
     def effective_seed(self) -> int:
@@ -140,10 +181,13 @@ class SessionManager:
         self.records: List[SessionRecord] = []
         self.backends: List[SimBackEnd] = []
         self.viewers: List[SimViewer] = []
-        self._active = 0
-        self._waiting: Deque[Event] = deque()
         self._next_sid = 0
         policy = config.admission
+        self._slots = SlotQueue(
+            self.net.env,
+            max_slots=policy.max_sessions,
+            queue_depth=policy.queue_depth,
+        )
         self._bucket: Optional[TokenBucket] = (
             TokenBucket(policy.token_rate, policy.token_burst)
             if policy.token_rate > 0
@@ -195,7 +239,7 @@ class SessionManager:
                 h,
                 n_disks=DPSS_DISKS_PER_SERVER,
                 disk_rate=DPSS_DISK_RATE,
-                cache_bytes=config.dpss_cache_bytes,
+                cache_bytes=config.site.dpss_cache_bytes,
             )
             server.attach(net)
             self.master.add_server(server)
@@ -372,12 +416,10 @@ class SessionManager:
         )
 
     def _release(self) -> None:
-        # A queued arrival inherits the slot directly, so the active
-        # count is untouched while anyone is waiting.
-        if self._waiting:
-            self._waiting.popleft().succeed(None)
-        else:
-            self._active -= 1
+        # A queued arrival inherits the slot directly (O(1) FIFO
+        # handoff), so the active count is untouched while anyone is
+        # waiting.
+        self._slots.release()
 
     def _session(
         self, sid: int, profile: ViewerProfile
@@ -400,24 +442,16 @@ class SessionManager:
             # covered: reject immediately rather than queueing forever.
             self._reject(record, "bandwidth")
             return
-        if (
-            policy.max_sessions is not None
-            and self._active >= policy.max_sessions
-        ):
-            if (
-                policy.max_sessions == 0
-                or len(self._waiting) >= policy.queue_depth
-            ):
-                self._reject(record, "capacity")
-                return
-            slot = Event(env)
-            self._waiting.append(slot)
+        try:
+            slot = self._slots.acquire()
+        except QueueFull:
+            self._reject(record, "capacity")
+            return
+        if slot is not None:
             self.logger.log(
-                Tags.SVC_QUEUE, session=sid, depth=len(self._waiting)
+                Tags.SVC_QUEUE, session=sid, depth=self._slots.depth
             )
             yield slot
-        else:
-            self._active += 1
         if self._bucket is not None:
             wait = self._bucket.reserve(cost, env.now)
             assert wait is not None  # cost <= burst checked above

@@ -9,12 +9,40 @@ sessions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.util.units import fmt_seconds
+
+#: version stamp every JSON result payload carries; bump on any
+#: backwards-incompatible change to the emitted structure
+RESULT_SCHEMA_VERSION = 1
+
+
+def result_payload(kind: str, metrics: Any, **sections: Any) -> Dict[str, Any]:
+    """The one versioned JSON envelope every runner emits.
+
+    ``campaign --json``, ``serve-sim --json`` and the shard bench all
+    route through here, so downstream tooling can dispatch on
+    ``schema_version`` + ``kind`` instead of sniffing key shapes.
+    Extra keyword sections land at the top level; objects exposing
+    ``to_dict`` are serialised through it, ``None`` sections are
+    dropped.
+    """
+    payload: Dict[str, Any] = {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": kind,
+        "metrics": (
+            metrics.to_dict() if hasattr(metrics, "to_dict") else dict(metrics)
+        ),
+    }
+    for key, value in sections.items():
+        if value is None:
+            continue
+        payload[key] = value.to_dict() if hasattr(value, "to_dict") else value
+    return payload
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -41,6 +69,10 @@ class SessionRecord:
     frames: int = 0
     rejected: bool = False
     reject_reason: str = ""
+    #: multi-site shard fields; empty for single-site campaigns
+    home: str = ""
+    served: str = ""
+    verdict: str = ""
 
     @property
     def admission_latency(self) -> Optional[float]:
@@ -191,9 +223,146 @@ class ServiceMetrics:
         ])
 
 
+@dataclass
+class SiteMetrics:
+    """One shard site's admission and serving tallies."""
+
+    name: str
+    #: sessions whose home is this site
+    offered: int = 0
+    #: sessions this site's back ends actually served
+    served: int = 0
+    #: homed here, but served at a remote site
+    spilled_out: int = 0
+    #: homed elsewhere, served here
+    spilled_in: int = 0
+    queued: int = 0
+    rejected: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of this site's lookups served from the edge cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready form."""
+        return {
+            "name": self.name,
+            "offered": self.offered,
+            "served": self.served,
+            "spilled_out": self.spilled_out,
+            "spilled_in": self.spilled_in,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+        }
+
+
+@dataclass
+class ShardMetrics:
+    """Service aggregates plus the multi-site breakdown."""
+
+    service: ServiceMetrics
+    #: campaign-wide verdict counts, keyed by
+    #: :class:`~repro.service.admission.AdmissionVerdict` values
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    sites: Dict[str, SiteMetrics] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[SessionRecord],
+        site_names: Sequence[str],
+        *,
+        total_time: float,
+        site_cache_stats: Optional[Dict[str, Any]] = None,
+    ) -> "ShardMetrics":
+        """Reduce shard session records to service + per-site tallies.
+
+        ``site_cache_stats`` maps site name to that edge cache's
+        :class:`~repro.service.cache.CacheStats`.
+        """
+        sites = {name: SiteMetrics(name=name) for name in site_names}
+        verdicts: Dict[str, int] = {}
+        hits = misses = 0
+        for record in records:
+            if record.verdict:
+                verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
+            home = sites.get(record.home)
+            if home is not None:
+                home.offered += 1
+                if record.rejected:
+                    home.rejected += 1
+                if record.verdict == "queued":
+                    home.queued += 1
+            served = sites.get(record.served)
+            if served is not None:
+                served.served += 1
+                if record.ended is not None:
+                    served.completed += 1
+            if record.served and record.home and record.served != record.home:
+                if home is not None:
+                    home.spilled_out += 1
+                if served is not None:
+                    served.spilled_in += 1
+        if site_cache_stats:
+            for name, stats in site_cache_stats.items():
+                site = sites.get(name)
+                if site is not None:
+                    site.cache_hits = stats.hits
+                    site.cache_misses = stats.misses
+                hits += stats.hits
+                misses += stats.misses
+        service = ServiceMetrics.from_records(
+            records,
+            total_time=total_time,
+            cache_hit_ratio=hits / (hits + misses) if hits + misses else 0.0,
+        )
+        return cls(service=service, verdicts=verdicts, sites=sites)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested JSON-ready form (service + verdicts + sites)."""
+        return {
+            "service": self.service.to_dict(),
+            "verdicts": dict(self.verdicts),
+            "sites": {
+                name: site.to_dict() for name, site in self.sites.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable shard block: service lines + a site table."""
+        lines = [self.service.summary()]
+        verdicts = ", ".join(
+            f"{k} {v}" for k, v in sorted(self.verdicts.items())
+        )
+        if verdicts:
+            lines.append(f"  verdicts          : {verdicts}")
+        for name in sorted(self.sites):
+            site = self.sites[name]
+            lines.append(
+                f"  site {name:<12} : {site.served} served "
+                f"({site.spilled_in} in / {site.spilled_out} out), "
+                f"{site.rejected} rejected, "
+                f"cache {site.cache_hit_ratio:.0%}"
+            )
+        return "\n".join(lines)
+
+
 #: re-exported for the package facade
 __all__ = [
+    "RESULT_SCHEMA_VERSION",
     "SessionRecord",
     "ServiceMetrics",
+    "ShardMetrics",
+    "SiteMetrics",
     "percentile",
+    "result_payload",
 ]

@@ -47,6 +47,10 @@ class ViewerProfile:
     #: in tile mode; ``None`` = the whole frame. Overlapping frusta
     #: from different viewers share tile renders through the cache.
     frustum: Optional[Tuple[float, float, float, float]] = None
+    #: home site of this viewer in a multi-site topology
+    #: (:class:`repro.config.TopologyConfig`); ``None`` assigns sites
+    #: round-robin in arrival order. Ignored by single-site campaigns.
+    region: Optional[str] = None
 
     def __post_init__(self):
         check_positive("weight", self.weight)

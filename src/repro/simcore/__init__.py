@@ -33,6 +33,7 @@ from repro.simcore.fluid import (
     FluidScheduler,
     FluidTask,
 )
+from repro.simcore.flowclass import FlowClass, FlowClassPool, FlowClassStats
 from repro.simcore.pipeline import (
     DROP,
     SHUTDOWN,
@@ -66,6 +67,9 @@ __all__ = [
     "FluidResource",
     "FluidScheduler",
     "FluidTask",
+    "FlowClass",
+    "FlowClassPool",
+    "FlowClassStats",
     "DROP",
     "SHUTDOWN",
     "BoundedBuffer",

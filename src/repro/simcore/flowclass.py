@@ -1,0 +1,454 @@
+"""Flow classes: aggregate same-profile sessions into one fluid flow.
+
+A :class:`FlowClass` describes a *profile* -- the per-member usage
+coefficients, rate cap and QoS floor shared by every session of that
+profile (e.g. "home viewer behind a 45 Mb/s WAN path"). A
+:class:`FlowClassPool` admits individual member transfers against a
+class and serves them through **one** aggregate
+:class:`~repro.simcore.fluid.FluidTask` per class, so the allocator's
+re-solve cost scales with the number of *profiles*, not the number of
+concurrent sessions (DESIGN.md section 15).
+
+The aggregate flow is a *per-member representative*: its usage
+coefficients are the class coefficients scaled by the live member
+count ``k`` (``usage[r] = k * c_r``) while its cap and floor stay
+per-member, so the rate the solver assigns **is** the per-member rate
+-- no division round-trip. Member progress is banked with exactly the
+arithmetic :class:`~repro.simcore.fluid.FluidScheduler` uses
+(``remaining = max(remaining - rate*dt, 0)`` at each bitwise rate
+change, ``eta = now + remaining/rate``), at exactly the instants the
+allocator banks (the ``FluidTask.on_rate`` hook), which makes member
+completion times bitwise identical to running one fluid flow per
+member whenever
+
+* the class usage coefficients are ``1.0`` (``k`` repeated additions
+  of 1.0 equal ``k * 1.0`` exactly -- integer float sums), and
+* the class floor is 0 (phase-1 floor grants sum per flow).
+
+With non-unit coefficients or floors the aggregation is still exact
+weighted max-min fairness, but float rounding may differ from the
+per-session solve by ulps. ``FlowClassPool(aggregate=False)`` runs the
+same API as a per-session oracle (PR 5 style: one FluidTask per
+member) -- parity tests pin the two modes against each other.
+
+Within one class, members complete in fixed order (all members
+progress at the shared per-member rate, so relative order is set by
+remaining work at join time); the pool tracks that order with a
+cumulative-progress threshold heap, so a member join/complete costs
+O(log members) plus one O(members-in-class) banking sweep per bitwise
+rate change -- never a per-session flow in the solver.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.simcore.events import Event
+from repro.simcore.fluid import (
+    _CAP_SENTINEL,
+    _WORK_EPS,
+    FluidResource,
+    FluidScheduler,
+    FluidTask,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.env import Environment
+
+
+class FlowClass:
+    """A session profile: per-member usage, rate cap and QoS floor."""
+
+    def __init__(
+        self,
+        name: str,
+        usage: Mapping[FluidResource, float],
+        cap: float = float("inf"),
+        floor: float = 0.0,
+    ):
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        for coeff in usage.values():
+            if coeff < 0:
+                raise ValueError(f"usage must be >= 0, got {coeff}")
+        self.name = name
+        self.usage = dict(usage)
+        self.cap = float(cap)
+        self.floor = float(floor)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FlowClass({self.name!r}, cap={self.cap:.3g})"
+
+
+class _Member:
+    """One admitted transfer inside a class."""
+
+    __slots__ = (
+        "name",
+        "work",
+        "remaining",
+        "synced_at",
+        "eta",
+        "eta_horizon",
+        "eta_anchor",
+        "eta_seq",
+        "seq",
+        "active",
+        "done",
+        "state",
+    )
+
+    def __init__(self, name: str, work: float, now: float, seq: int):
+        self.name = name
+        self.work = work
+        self.remaining = work
+        self.synced_at = now
+        self.eta = float("inf")
+        self.eta_horizon = float("inf")
+        self.eta_anchor = now
+        self.eta_seq = 0  # bumped at each refresh; lazy heap deletion
+        self.seq = seq  # global admit order; breaks completion ties
+        self.active = True
+        self.done: Optional[Event] = None
+        self.state: Optional["_ClassState"] = None
+
+
+class _ClassState:
+    """Live members and the aggregate flow of one class."""
+
+    __slots__ = ("spec", "agg", "members", "order", "progress", "p_synced", "rate")
+
+    def __init__(self, spec: FlowClass):
+        self.spec = spec
+        self.agg: Optional[FluidTask] = None
+        #: admit order preserved (dict insertion); banking sweeps walk
+        #: this, so both pool modes see members deterministically.
+        self.members: Dict[str, _Member] = {}
+        #: completion-order heap keyed by the cumulative per-member
+        #: progress at which each member finishes (progress-at-join +
+        #: work). All members drain at the shared rate, so this order
+        #: is invariant between joins.
+        self.order: List[Tuple[float, int, _Member]] = []
+        self.progress = 0.0  # cumulative per-member work served
+        self.p_synced = 0.0
+        self.rate = 0.0  # mirror of agg.rate (per-member)
+
+
+@dataclass
+class FlowClassStats:
+    """Counters for the pool (``FlowClassPool.stats``)."""
+
+    classes: int = 0  # aggregate flows created (class activations)
+    members_submitted: int = 0
+    members_completed: int = 0
+    disaggregations: int = 0  # banking sweeps (aggregate rate changes)
+    wakes_scheduled: int = 0
+    stale_wakes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "classes": self.classes,
+            "members_submitted": self.members_submitted,
+            "members_completed": self.members_completed,
+            "disaggregations": self.disaggregations,
+            "wakes_scheduled": self.wakes_scheduled,
+            "stale_wakes": self.stale_wakes,
+        }
+
+
+# Pool wake-heap entry: (eta, push id, member, eta seq, horizon,
+# anchor) -- same shape and arming discipline as the fluid ETA heap.
+_HeapEntry = Tuple[float, int, _Member, int, float, float]
+
+
+class FlowClassPool:
+    """Admits member transfers against flow classes.
+
+    ``aggregate=True`` (default) serves each class through one scaled
+    aggregate flow; ``aggregate=False`` is the per-session oracle --
+    every member becomes its own :class:`FluidTask`, exactly the PR 4/5
+    serving model. Both return an event whose value is the member's
+    completion time.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        sched: FluidScheduler,
+        *,
+        aggregate: bool = True,
+    ):
+        self.env = env
+        self.sched = sched
+        self.aggregate = bool(aggregate)
+        self._classes: Dict[str, _ClassState] = {}
+        self._heap: List[_HeapEntry] = []
+        self._push_ids = 0
+        self._seq_ids = 0
+        self._wake_token = 0
+        self._next_wake = float("inf")
+        self.stats = FlowClassStats()
+
+    # -- introspection -------------------------------------------------------
+    def active_members(self, class_name: str) -> int:
+        """Live member count of ``class_name`` (0 if idle/unknown)."""
+        state = self._classes.get(class_name)
+        return len(state.members) if state is not None else 0
+
+    def class_rate(self, class_name: str) -> float:
+        """Current per-member rate of ``class_name`` (0 if idle)."""
+        state = self._classes.get(class_name)
+        return state.rate if state is not None and state.agg is not None else 0.0
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, spec: FlowClass, work: float, name: str) -> Event:
+        """Admit one member transfer of ``work`` units against ``spec``.
+
+        Returns the event fired at completion; its value is the
+        completion time (matching ``FluidScheduler.submit``).
+        """
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        self.stats.members_submitted += 1
+        if not self.aggregate:
+            task = FluidTask(
+                name, work, spec.usage, cap=spec.cap, floor=spec.floor
+            )
+            return self.sched.submit(task)
+        now = self.env.now
+        if work <= _WORK_EPS:
+            done = Event(self.env)
+            done.succeed(now)
+            self.stats.members_completed += 1
+            return done
+        state = self._state_of(spec)
+        self._seq_ids += 1
+        member = _Member(name, float(work), now, self._seq_ids)
+        member.done = Event(self.env)
+        member.state = state
+        if member.name in state.members:
+            raise ValueError(f"duplicate member name {member.name!r}")
+        # Sync cumulative progress to now so the ordering threshold is
+        # comparable with members admitted at other instants.
+        if state.agg is not None:
+            dt = now - state.p_synced
+            if dt > 0:
+                state.progress += state.rate * dt
+        state.p_synced = now
+        state.members[member.name] = member
+        heapq.heappush(
+            state.order, (state.progress + member.work, member.seq, member)
+        )
+        if state.agg is None:
+            agg = FluidTask(
+                f"fc:{spec.name}",
+                float("inf"),
+                spec.usage,
+                cap=self._member_cap(state),
+                floor=spec.floor,
+            )
+            agg.on_rate = (
+                lambda task, old, new, t, st=state:  # type: ignore[misc]
+                self._on_agg_rate(st, old, new, t)
+            )
+            state.agg = agg
+            state.rate = 0.0
+            self.stats.classes += 1
+            self.sched.submit(agg)
+        else:
+            agg = state.agg
+            agg.cap = self._member_cap(state)
+            self.sched.set_usage(agg, self._scaled_usage(state))
+        # If the solve left the per-member rate bitwise unchanged (a
+        # cap-pinned class with slack), no banking sweep ran and the
+        # new member has no ETA yet: anchor one at the standing rate.
+        if member.active and member.eta_seq == 0:
+            self._refresh_member(member, state.rate, self.env.now)
+            self._push_head(state)
+            self._arm_wake()
+        return member.done
+
+    def set_class_cap(self, spec: FlowClass, cap: float) -> None:
+        """Change a class's per-member cap for current and future members."""
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        spec.cap = float(cap)
+        state = self._classes.get(spec.name)
+        if state is not None and state.agg is not None:
+            self.sched.set_cap(state.agg, self._member_cap(state))
+
+    # -- internals -----------------------------------------------------------
+    def _state_of(self, spec: FlowClass) -> _ClassState:
+        state = self._classes.get(spec.name)
+        if state is None:
+            state = _ClassState(spec)
+            self._classes[spec.name] = state
+        elif state.spec is not spec:
+            same = (
+                state.spec.usage == spec.usage
+                and state.spec.cap == spec.cap
+                and state.spec.floor == spec.floor
+            )
+            if not same:
+                raise ValueError(
+                    f"flow class {spec.name!r} redefined with a different "
+                    f"profile"
+                )
+        return state
+
+    def _scaled_usage(self, state: _ClassState) -> Dict[FluidResource, float]:
+        k = len(state.members)
+        return {r: c * k for r, c in state.spec.usage.items()}
+
+    def _member_cap(self, state: _ClassState) -> float:
+        """Finite per-member cap, mirroring the fluid stand-in.
+
+        An uncapped per-session flow gets ``min(capacity/coeff)`` as
+        its finite stand-in; the aggregate must carry the *per-member*
+        number (its scaled coefficients would otherwise shrink the
+        stand-in by ``k``), so the pool computes it here from current
+        capacities at every membership change.
+        """
+        if state.spec.cap != float("inf"):
+            return state.spec.cap
+        best = float("inf")
+        for res, coeff in state.spec.usage.items():
+            if coeff > 0:
+                best = min(best, res.capacity / coeff)
+        return best if best != float("inf") else _CAP_SENTINEL
+
+    def _on_agg_rate(
+        self, state: _ClassState, old: float, new: float, now: float
+    ) -> None:
+        """Bank every member at the outgoing rate; re-anchor ETAs.
+
+        Runs from inside the allocator's solve (the ``on_rate`` hook),
+        so it must not mutate the scheduler -- it only touches pool
+        state and arms the pool's own wake timeout.
+        """
+        state.rate = new
+        dt = now - state.p_synced
+        if dt > 0:
+            state.progress += old * dt
+        state.p_synced = now
+        for member in state.members.values():
+            mdt = now - member.synced_at
+            if mdt > 0:
+                member.remaining = max(member.remaining - old * mdt, 0.0)
+            member.synced_at = now
+            self._refresh_member(member, new, now)
+        self.stats.disaggregations += 1
+        self._push_head(state)
+        self._arm_wake()
+
+    def _refresh_member(self, member: _Member, rate: float, now: float) -> None:
+        member.eta_seq += 1
+        if rate > 0:
+            horizon = member.remaining / rate
+            member.eta = now + horizon
+            member.eta_horizon = horizon
+            member.eta_anchor = now
+        else:
+            member.eta = float("inf")
+
+    def _push_head(self, state: _ClassState) -> None:
+        """Queue the class's next completion on the pool wake heap."""
+        order = state.order
+        while order and not order[0][2].active:
+            heapq.heappop(order)
+        if not order:
+            return
+        head = order[0][2]
+        if head.eta == float("inf"):
+            return
+        self._push_ids += 1
+        heapq.heappush(
+            self._heap,
+            (
+                head.eta,
+                self._push_ids,
+                head,
+                head.eta_seq,
+                head.eta_horizon,
+                head.eta_anchor,
+            ),
+        )
+
+    def _arm_wake(self) -> None:
+        """One outstanding timeout covering the earliest member ETA.
+
+        Identical discipline to ``FluidScheduler._arm_wake``: lazy
+        deletion of superseded entries, re-arm only when the earliest
+        completion moved earlier, and the raw horizon reused when
+        arming at the anchor instant so the wake lands exactly on
+        ``fl(anchor + horizon)``.
+        """
+        heap = self._heap
+        while heap:
+            _eta, _pid, member, eta_seq, _horizon, _t0 = heap[0]
+            if member.active and member.eta_seq == eta_seq:
+                break
+            heapq.heappop(heap)
+        if not heap:
+            self._next_wake = float("inf")
+            return
+        eta, _pid, _member, _eseq, horizon, t0 = heap[0]
+        if eta >= self._next_wake:
+            return
+        self._wake_token += 1
+        self._next_wake = eta
+        self.stats.wakes_scheduled += 1
+        token = self._wake_token
+        delay = horizon if self.env.now == t0 else max(eta - self.env.now, 0.0)
+        wake = self.env.timeout(delay)
+        wake.callbacks.append(lambda _ev, tok=token: self._on_wake(tok))
+
+    def _on_wake(self, token: int) -> None:
+        if token != self._wake_token:
+            self.stats.stale_wakes += 1
+            return
+        self._next_wake = float("inf")
+        now = self.env.now
+        heap = self._heap
+        while heap:
+            eta, _pid, member, eta_seq, _horizon, _t0 = heap[0]
+            if not (member.active and member.eta_seq == eta_seq):
+                heapq.heappop(heap)
+                continue
+            if eta > now:
+                break
+            heapq.heappop(heap)
+            self._complete_member(member, now)
+        self._arm_wake()
+
+    def _complete_member(self, member: _Member, now: float) -> None:
+        state = member.state
+        assert state is not None  # set at admit time
+        member.active = False
+        member.eta_seq += 1
+        member.remaining = 0.0
+        del state.members[member.name]
+        self.stats.members_completed += 1
+        assert member.done is not None  # set at admit time
+        member.done.succeed(now)
+        if not state.members:
+            agg = state.agg
+            state.agg = None
+            state.rate = 0.0
+            state.order = []
+            state.progress = 0.0
+            if agg is not None:
+                agg.on_rate = None  # no members left to disaggregate to
+                self.sched.withdraw(agg)
+        else:
+            agg = state.agg
+            assert agg is not None  # members imply a live aggregate
+            agg.cap = self._member_cap(state)
+            self.sched.set_usage(agg, self._scaled_usage(state))
+            # If the per-member rate survived bitwise, no sweep ran and
+            # the next head still needs queueing.
+            self._push_head(state)

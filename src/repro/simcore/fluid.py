@@ -65,6 +65,9 @@ DEFAULT_INCREMENTAL = True
 #: ALLOC_* NetLogger counters; ``None`` (the default) costs nothing.
 AllocObserver = Callable[[str, Dict[str, float]], None]
 
+#: ``FluidTask.on_rate`` callback: (task, old rate, new rate, now).
+RateObserver = Callable[["FluidTask", float, float, float], None]
+
 
 class FluidResource:
     """A named capacity constraint registered with a scheduler.
@@ -147,6 +150,12 @@ class FluidTask:
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.done: Optional[Event] = None  # set by the scheduler
+        #: optional observer called as ``on_rate(task, old, new, now)``
+        #: whenever a solve assigns a bitwise-different rate. Used by
+        #: the flow-class pool to disaggregate an aggregate flow's rate
+        #: to its members at exactly the instants the allocator banks.
+        #: Observers must not mutate the scheduler synchronously.
+        self.on_rate: Optional[RateObserver] = None
         # -- scheduler-internal bookkeeping (meaningful while active) --
         self._seq = 0  # global submit order; orders flows in a solve
         self._synced_at = 0.0  # sim time `remaining` was last banked at
@@ -340,6 +349,36 @@ class FluidScheduler:
                 task._fcap = None
                 task._flow = None
         self._dirty[resource.name] = None
+        self._after_change()
+
+    def set_usage(
+        self, task: FluidTask, usage: Mapping[FluidResource, float]
+    ) -> None:
+        """Replace a running task's usage coefficients in place.
+
+        The set of resources with *positive* coefficients must be
+        unchanged: the flow/resource adjacency -- and therefore the
+        cached component index -- stays valid, so this is a pure
+        re-solve of the task's component, not a topology change. The
+        flow-class pool uses it to scale an aggregate flow's
+        coefficients by the live member count.
+        """
+        if task.name not in self._active:
+            return  # already finished; harmless, like set_cap
+        new_footprint = {r.name for r, c in usage.items() if c > 0}
+        old_footprint = {r.name for r, c in task.usage.items() if c > 0}
+        if new_footprint != old_footprint:
+            raise SimulationError(
+                f"set_usage may not change task {task.name!r}'s positive "
+                f"resource footprint (topology); resubmit instead"
+            )
+        for coeff in usage.values():
+            if coeff < 0:
+                raise ValueError(f"usage must be >= 0, got {coeff}")
+        task.usage = dict(usage)
+        task._flow = None
+        task._fcap = None  # finite-cap stand-in depends on coefficients
+        self._touch_task(task)
         self._after_change()
 
     def add_work(self, task: FluidTask, extra: float) -> None:
@@ -617,8 +656,11 @@ class FluidScheduler:
             rate = rates[task.name]
             if rate != task.rate:
                 self._bank(task)
+                old = task.rate
                 task.rate = rate
                 self._refresh_eta(task, now)
+                if task.on_rate is not None:
+                    task.on_rate(task, old, rate, now)
             elif task._eta_stale:
                 self._refresh_eta(task, now)
 
@@ -631,8 +673,11 @@ class FluidScheduler:
         rate = task.cap if task.cap != float("inf") else _CAP_SENTINEL
         if rate != task.rate:
             self._bank(task)
+            old = task.rate
             task.rate = rate
             self._refresh_eta(task, now)
+            if task.on_rate is not None:
+                task.on_rate(task, old, rate, now)
         elif task._eta_stale:
             self._refresh_eta(task, now)
         if task._eta <= now:
@@ -651,6 +696,10 @@ class FluidScheduler:
         if task.rate > 0:
             horizon = task.remaining / task.rate
             task._eta = now + horizon
+            if horizon == float("inf"):
+                # Unbounded work (a flow-class aggregate): there is no
+                # completion to wake for, so keep it off the heap.
+                return
             self._push_ids += 1
             heapq.heappush(
                 self._eta_heap,

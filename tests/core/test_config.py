@@ -118,6 +118,33 @@ class TestDeprecationShims:
                 config=BackendConfig(), overlapped=True,
             )
 
+    def test_service_flat_dpss_cache_warns_and_folds(self):
+        from repro.service import ServiceCampaign
+        from repro.util.units import MB
+
+        base = CampaignConfig.sc99_showfloor()
+        with pytest.warns(DeprecationWarning, match="dpss_cache_bytes"):
+            svc = ServiceCampaign(
+                name="legacy", base=base, dpss_cache_bytes=64 * MB
+            )
+        assert svc.site.dpss_cache_bytes == 64 * MB
+
+    def test_service_rejects_both_forms(self):
+        from repro.config import TopologyConfig
+        from repro.service import ServiceCampaign
+        from repro.util.units import MB
+
+        base = CampaignConfig.sc99_showfloor()
+        with pytest.raises(ValueError, match="not both"):
+            ServiceCampaign(
+                name="legacy",
+                base=base,
+                dpss_cache_bytes=64 * MB,
+                topology=TopologyConfig.single_site(
+                    dpss_cache_bytes=64 * MB
+                ),
+            )
+
 
 class TestCampaignRegistry:
     def test_names_stable(self):
@@ -127,6 +154,7 @@ class TestCampaignRegistry:
             "nton_cplant4",
             "nton_cplant8",
             "sc99-multiviewer",
+            "sc99-serve10k",
             "sc99_cosmology",
             "sc99_showfloor",
         ]
@@ -172,6 +200,34 @@ class TestExperimentConfig:
         assert cfg.n_timesteps == 2 and cfg.seed == 9
         assert cfg.shape == (160, 64, 64)
         assert cfg.dataset_timesteps == 8
+
+    def test_topology_knobs_round_trip(self):
+        exp = ExperimentConfig(
+            campaign="sc99-serve10k",
+            topology="serve10k",
+            flow_classes=False,
+            seed=3,
+        )
+        assert ExperimentConfig.from_json(exp.to_json()) == exp
+
+    def test_to_campaign_config_dispatches_shard_campaigns(self):
+        from repro.service.shard import ShardCampaign
+
+        exp = ExperimentConfig(
+            campaign="sc99-serve10k",
+            flow_classes=False,
+            seed=3,
+            frames=2,
+        )
+        cfg = exp.to_campaign_config()
+        assert isinstance(cfg, ShardCampaign)
+        assert cfg.flow_classes.enabled is False
+        assert cfg.seed == 3 and cfg.frames == 2
+
+    def test_topology_knob_rejected_on_non_shard_campaigns(self):
+        exp = ExperimentConfig(campaign="lan_e4500", topology="sc99-wan")
+        with pytest.raises(ValueError, match="shard campaigns only"):
+            exp.to_campaign_config()
 
     def test_faults_and_policy_thread_through(self):
         plan = FaultPlan.of([

@@ -43,6 +43,9 @@ def test_tile_compositing_matches_slab_mode_per_campaign(name):
     name), the tile path reproduces the slab path bit for bit."""
     config = named_campaign(name)
     base = getattr(config, "base", config)
+    if not hasattr(base, "n_pes"):
+        pytest.skip("shard campaigns model sessions as fluid flows; "
+                    "no PE-level compositing to compare")
     seed = int.from_bytes(
         hashlib.blake2b(name.encode(), digest_size=4).digest(), "big"
     )

@@ -57,9 +57,12 @@ class TestServeSim:
         import json
 
         payload = json.loads(json_path.read_text())
-        assert payload["offered"] == 3
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "service"
+        metrics = payload["metrics"]
+        assert metrics["offered"] == 3
         assert {"aggregate_frame_rate", "cache_hit_ratio",
-                "ttff_p95"} <= payload.keys()
+                "ttff_p95"} <= metrics.keys()
 
     def test_no_cache_flag(self, capsys):
         code = main(

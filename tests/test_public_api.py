@@ -77,6 +77,7 @@ def test_api_facade_pinned():
 
     assert sorted(api.__all__) == [
         "AdmissionPolicy",
+        "AdmissionVerdict",
         "BackendConfig",
         "CacheConfig",
         "Campaign",
@@ -86,25 +87,39 @@ def test_api_facade_pinned():
         "DpssClient",
         "ExperimentConfig",
         "FaultPlan",
+        "FlowClass",
+        "FlowClassConfig",
+        "FlowClassPool",
         "NetworkConfig",
         "RequestPolicy",
         "ServiceCampaign",
         "ServiceMetrics",
         "ServiceResult",
+        "ShardCampaign",
+        "ShardMetrics",
+        "ShardResult",
         "SimBackEnd",
         "SimViewer",
+        "SiteLink",
+        "SiteMetrics",
+        "SiteSpec",
         "TileConfig",
         "TileGrid",
+        "TopologyConfig",
         "ViewerProfile",
         "WorkloadSpec",
         "build_session",
         "campaign_names",
         "load_drill",
         "named_campaign",
+        "named_topology",
+        "result_payload",
         "run_campaign",
         "run_check",
         "run_experiment",
         "run_service_campaign",
+        "run_shard_campaign",
+        "topology_names",
     ]
 
 
