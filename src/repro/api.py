@@ -39,6 +39,7 @@ from repro.config import (
     NetworkConfig,
     SiteLink,
     SiteSpec,
+    StripeConfig,
     TileConfig,
     TopologyConfig,
     named_topology,
@@ -53,6 +54,8 @@ from repro.core.campaign import (
 )
 from repro.core.report import CampaignResult
 from repro.dpss.client import DpssClient
+from repro.dpss.health import HealthTracker
+from repro.dpss.stripe import StripeMap, XorCodec
 from repro.faults import FaultPlan, RequestPolicy, load_drill
 from repro.service import (
     AdmissionPolicy,
@@ -90,6 +93,7 @@ __all__ = [
     "FlowClass",
     "FlowClassConfig",
     "FlowClassPool",
+    "HealthTracker",
     "NetworkConfig",
     "RequestPolicy",
     "ServiceCampaign",
@@ -103,11 +107,14 @@ __all__ = [
     "SiteLink",
     "SiteMetrics",
     "SiteSpec",
+    "StripeConfig",
+    "StripeMap",
     "TileConfig",
     "TileGrid",
     "TopologyConfig",
     "ViewerProfile",
     "WorkloadSpec",
+    "XorCodec",
     "build_session",
     "campaign_names",
     "load_drill",

@@ -52,6 +52,7 @@ from repro.volren.tiles import TileGrid, tile_changed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datagen.timeseries import TimeSeriesMeta
+    from repro.dpss.health import HealthTracker
     from repro.dpss.master import DpssMaster
     from repro.netsim.host import Host
     from repro.netsim.topology import Network
@@ -82,6 +83,19 @@ class BackEndTiming:
     retries: int = 0
     #: hedged duplicate reads issued, across all PEs
     hedges: int = 0
+    #: hedges cancelled without delivering (primary won or the attempt
+    #: deadline tore them down), across all PEs
+    hedges_abandoned: int = 0
+    #: striped mode: blocks rebuilt by XOR instead of read directly
+    reconstructions: int = 0
+    #: striped mode: redundancy bytes (parity + fillers + rounding)
+    #: that crossed the wire on top of the data
+    parity_bytes: float = 0.0
+    #: striped mode: k-of-n straggler shares cancelled mid-flight
+    stripe_cancels: int = 0
+    #: wall seconds of every DPSS slab read, across all PEs (the
+    #: distribution behind the stripe suite's p99 gate)
+    read_seconds: List[float] = field(default_factory=list)
     #: (rank, frame) slabs served from the shared render cache --
     #: each one skipped its DPSS read and its render leg entirely
     cache_hits: int = 0
@@ -130,6 +144,9 @@ class SimBackEnd:
         #: session label for multi-session runs; prefixes the NetLogger
         #: prog ("s3/backend-0") so per-session lifelines stay distinct
         session: Optional[str] = None,
+        #: shared per-server health tracker handed to every PE's DPSS
+        #: client (striped mode); None = no read biasing
+        health: Optional["HealthTracker"] = None,
         # -- deprecated knob-per-kwarg spelling (one release of grace) --
         n_timesteps: Optional[int] = _UNSET,
         overlapped: bool = _UNSET,
@@ -233,6 +250,7 @@ class SimBackEnd:
                 )
         self.render_cache = render_cache
         self.session = session
+        self.health = health
         #: (rank, frame) -> cache-claim outcome passed from the load
         #: stage to the render stage in overlapped mode
         self._slab_status: Dict[Tuple[int, int], str] = {}
@@ -492,6 +510,7 @@ class SimBackEnd:
             config=self.config.network,
             logger=self._loggers[rank],
             rng=self._rngs[self.n_pes + rank],
+            health=self.health,
         )
         open_ev = client.open(self.dataset_name)
         return client, open_ev
@@ -519,6 +538,11 @@ class SimBackEnd:
         )
         self.timing.retries += stats.retries
         self.timing.hedges += stats.hedges
+        self.timing.hedges_abandoned += stats.hedges_abandoned
+        self.timing.reconstructions += stats.reconstructions
+        self.timing.parity_bytes += stats.parity_wire_bytes
+        self.timing.stripe_cancels += stats.shares_cancelled
+        self.timing.read_seconds.append(stats.duration)
         if stats.missing_bytes > 0:
             # The policy gave up on part of this slab: the PE proceeds
             # with whatever it has (stale or absent texture downstream).

@@ -6,10 +6,12 @@ Installed as the ``visapult`` console script::
     visapult campaign lan_e4500 --overlapped --nlv
     visapult campaign lan_e4500 --scaled --sanitize
     visapult campaign --faults examples/plans/sc99_flaky.json --sanitize
+    visapult campaign sc99-flaky --stripe 4+1
     visapult serve-sim sc99-multiviewer --viewers 6 --scaled
     visapult serve-sim sc99-serve10k --sessions 2000 --flow-classes on
     visapult bench --quick --check
     visapult bench --suite shard --quick --check
+    visapult bench --suite stripe --quick --check
     visapult lint
     visapult check src/repro --json CHECK_findings.json
     visapult iperf --wan esnet --streams 8
@@ -91,7 +93,16 @@ def cmd_campaign(args) -> int:
         policy=drill.policy if drill is not None else None,
         tiles=args.tiles,
         tile_size=args.tile_size,
+        stripe=args.stripe,
     )
+    if args.stripe is not None:
+        from repro.config import StripeConfig
+
+        try:
+            StripeConfig.from_spec(args.stripe)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     try:
         config = experiment.to_campaign_config()
     except KeyError as exc:
@@ -126,7 +137,7 @@ def _serve_shard(args, config) -> int:
     from repro.config import FlowClassConfig, named_topology
     from repro.core import run_campaign
 
-    for flag in ("scaled", "no_cache", "tiles"):
+    for flag in ("scaled", "no_cache", "tiles", "stripe"):
         if getattr(args, flag):
             print(
                 f"--{flag.replace('_', '-')} applies to full-world "
@@ -236,6 +247,17 @@ def cmd_serve(args) -> int:
         config = config.with_changes(
             base=config.base.with_changes(tiles=tiles)
         )
+    if args.stripe is not None:
+        from repro.config import StripeConfig
+
+        try:
+            stripe = StripeConfig.from_spec(args.stripe)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        config = config.with_changes(
+            base=config.base.with_changes(stripe=stripe)
+        )
     if args.seed is not None:
         config = config.with_changes(seed=args.seed)
     result = run_campaign(
@@ -262,6 +284,11 @@ def cmd_bench(args) -> int:
 
         results = suite_mod.run_suite(quick=args.quick)
         default_baseline = "benchmarks/perf/baseline_shard.json"
+    elif args.suite == "stripe":
+        from repro.core import bench_stripe as suite_mod  # type: ignore[no-redef]
+
+        results = suite_mod.run_suite(quick=args.quick)
+        default_baseline = "benchmarks/perf/baseline_stripe.json"
     else:
         from repro.core import bench as suite_mod  # type: ignore[no-redef]
 
@@ -450,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile-routed transport with delta transmission")
     p.add_argument("--tile-size", type=int, default=None, metavar="PX",
                    help="screen tile edge in pixels (default 32)")
+    p.add_argument("--stripe", default=None, metavar="SPEC",
+                   help="RAID-5 parity striping on the DPSS with "
+                        "redundant k-of-n reads, e.g. '4+1' (hedged "
+                        "repair) or '4+1:eager'")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the versioned result payload to this file")
     p.set_defaults(fn=cmd_campaign)
@@ -480,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "and the tile-keyed shared cache")
     p.add_argument("--tile-size", type=int, default=None, metavar="PX",
                    help="screen tile edge in pixels (default 32)")
+    p.add_argument("--stripe", default=None, metavar="SPEC",
+                   help="full-world campaigns: RAID-5 parity striping "
+                        "on the shared DPSS site, e.g. '4+1'")
     p.add_argument("--topology", default=None, metavar="NAME",
                    help="shard campaigns: serve over this named "
                         "multi-site topology (see 'visapult list')")
@@ -495,11 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench", help="run the performance benchmark suites"
     )
-    p.add_argument("--suite", choices=["fluid", "render", "shard"],
+    p.add_argument("--suite", choices=["fluid", "render", "shard",
+                                       "stripe"],
                    default="fluid",
                    help="fluid: allocator speedups; render: tile wire "
                         "savings + compositing + orbit cache; shard: "
-                        "flow-class aggregation vs per-session flows")
+                        "flow-class aggregation vs per-session flows; "
+                        "stripe: parity-read overhead + flaky-drill "
+                        "p99 read latency vs the fault-free baseline")
     p.add_argument("--quick", action="store_true",
                    help="small workloads (CI-sized; scaled e2e campaign)")
     p.add_argument("--no-e2e", action="store_true",

@@ -46,6 +46,117 @@ def warn_deprecated_kwarg(owner: str, old: str, new: str) -> None:
 
 
 @dataclass(frozen=True)
+class StripeConfig:
+    """RAID-5 parity striping across the DPSS server set.
+
+    ``enabled=False`` (the default) keeps the historical round-robin
+    placement and per-server fan-out, byte-identical ULM logs
+    included. When enabled, datasets are laid out by a
+    :class:`~repro.dpss.stripe.StripeMap` over ``n_data + n_parity``
+    servers and reads go through the redundant k-of-n requestor: a
+    slow or crashed server's blocks are reconstructed by XOR from the
+    other servers' blocks plus parity instead of waiting out a
+    timeout+retry round trip.
+
+    ``read_policy`` picks the redundancy mode:
+
+    - ``"hedged"`` (the default) -- issue only the data shares;
+      launch the parity repair share when a server is known-unhealthy
+      at launch or after ``straggler_after`` seconds without
+      completion. Fault-free reads are byte-identical on the wire to
+      the unstriped path.
+    - ``"eager"`` -- issue all ``n`` shares (data + parity) up front,
+      complete on the first ``k`` arrivals, cancel the straggler.
+      Fault-free reads pay the parity bandwidth overhead (``1/n_data``
+      plus any boundary-stripe filler blocks, which dominate on reads
+      much smaller than a stripe) in exchange for a p99 that never
+      waits on a straggler timer.
+
+    ``timeout`` is the final backstop deadline; blocks still missing
+    then are delivered absent (the PR 3 degradation path).
+    ``health_half_life`` is the fault-penalty decay half-life of the
+    per-server :class:`~repro.dpss.health.HealthTracker`;
+    ``avoid_threshold`` the health score at which the initial read
+    set is biased away from a server.
+    """
+
+    enabled: bool = False
+    n_data: int = 4
+    n_parity: int = 1
+    read_policy: str = "hedged"
+    straggler_after: float = 0.25
+    timeout: float = 30.0
+    health_half_life: float = 20.0
+    avoid_threshold: float = 0.75
+
+    def __post_init__(self):
+        if self.n_data < 2:
+            raise ValueError(f"n_data must be >= 2, got {self.n_data}")
+        if self.n_parity != 1:
+            raise ValueError(
+                f"XOR parity supports exactly n_parity=1, got "
+                f"{self.n_parity}"
+            )
+        if self.read_policy not in ("eager", "hedged"):
+            raise ValueError(
+                f"read_policy must be 'eager' or 'hedged', got "
+                f"{self.read_policy!r}"
+            )
+        for attr in ("straggler_after", "timeout", "health_half_life"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(
+                    f"{attr} must be > 0, got {getattr(self, attr)}"
+                )
+        if self.avoid_threshold < 0:
+            raise ValueError(
+                f"avoid_threshold must be >= 0, got {self.avoid_threshold}"
+            )
+
+    @property
+    def width(self) -> int:
+        """The stripe width: servers per stripe (data + parity)."""
+        return self.n_data + self.n_parity
+
+    @classmethod
+    def from_spec(cls, spec: str, **changes: Any) -> "StripeConfig":
+        """Parse the CLI spec form ``"4+1"`` or ``"4+1:eager"``.
+
+        The first part is ``n_data + n_parity``; the optional suffix
+        after ``:`` is the read policy.
+        """
+        text = spec.strip()
+        policy = None
+        if ":" in text:
+            text, _, policy = text.partition(":")
+        try:
+            n_data_s, _, n_parity_s = text.partition("+")
+            n_data, n_parity = int(n_data_s), int(n_parity_s)
+        except ValueError:
+            raise ValueError(
+                f"stripe spec must look like '4+1' or '4+1:hedged', "
+                f"got {spec!r}"
+            ) from None
+        kwargs: Dict[str, Any] = {
+            "enabled": True, "n_data": n_data, "n_parity": n_parity,
+        }
+        if policy is not None:
+            kwargs["read_policy"] = policy
+        kwargs.update(changes)
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        """The canonical spec string ``from_spec`` round-trips."""
+        base = f"{self.n_data}+{self.n_parity}"
+        return base if self.read_policy == "hedged" else (
+            f"{base}:{self.read_policy}"
+        )
+
+    def with_changes(self, **changes: Any) -> "StripeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """How one endpoint drives its connections.
 
@@ -59,12 +170,17 @@ class NetworkConfig:
     :func:`repro.simcore.fairshare.max_min_allocation` honours in its
     phase-1 grants. The serving layer uses it to express fair-share
     weights across admitted sessions; 0 keeps plain max-min sharing.
+
+    ``stripe`` enables parity-striped redundant reads (see
+    :class:`StripeConfig`); the default disabled config keeps the
+    historical per-server fan-out.
     """
 
     tcp: TcpParams = field(default_factory=TcpParams)
     compression: Optional[CompressionModel] = None
     policy: Optional[RequestPolicy] = None
     reserved_rate: float = 0.0
+    stripe: StripeConfig = field(default_factory=StripeConfig)
 
     def with_changes(self, **changes: Any) -> "NetworkConfig":
         """A copy with the given fields replaced."""
@@ -405,6 +521,9 @@ class ExperimentConfig:
     policy: Optional[RequestPolicy] = None
     tiles: bool = False
     tile_size: Optional[int] = None
+    #: parity-striping spec (:meth:`StripeConfig.from_spec` form,
+    #: e.g. ``"4+1"`` or ``"4+1:hedged"``); ``None`` keeps striping off
+    stripe: Optional[str] = None
     #: named multi-site topology for shard campaigns (``visapult list``
     #: of :func:`topology_names`); ``None`` keeps the campaign default
     topology: Optional[str] = None
@@ -442,6 +561,7 @@ class ExperimentConfig:
             policy=policy_from_spec(data.get("policy")),
             tiles=bool(data.get("tiles", False)),
             tile_size=data.get("tile_size"),
+            stripe=data.get("stripe"),
             topology=data.get("topology"),
             flow_classes=data.get("flow_classes"),
         )
@@ -470,11 +590,19 @@ class ExperimentConfig:
             out["tiles"] = True
         if self.tile_size is not None:
             out["tile_size"] = self.tile_size
+        if self.stripe is not None:
+            out["stripe"] = self.stripe
         if self.topology is not None:
             out["topology"] = self.topology
         if self.flow_classes is not None:
             out["flow_classes"] = self.flow_classes
         return json.dumps(out, indent=indent)
+
+    def _stripe_config(self) -> Optional[StripeConfig]:
+        """The StripeConfig implied by the JSON-level stripe spec."""
+        if self.stripe is None:
+            return None
+        return StripeConfig.from_spec(self.stripe)
 
     def _tile_config(self) -> Optional[TileConfig]:
         """The TileConfig implied by the JSON-level tile knobs."""
@@ -503,6 +631,12 @@ class ExperimentConfig:
                 changes["seed"] = self.seed
             if self.frames is not None:
                 changes["frames"] = self.frames
+            if self.stripe is not None:
+                raise ValueError(
+                    f"campaign {self.campaign!r} is a shard campaign; "
+                    f"striping applies to single-session and service "
+                    f"campaigns only"
+                )
             return config.with_changes(**changes) if changes else config
         if self.topology is not None or self.flow_classes is not None:
             raise ValueError(
@@ -529,6 +663,9 @@ class ExperimentConfig:
             tiles = self._tile_config()
             if tiles is not None:
                 base_changes["tiles"] = tiles
+            stripe = self._stripe_config()
+            if stripe is not None:
+                base_changes["stripe"] = stripe
             if base_changes:
                 config = config.with_changes(
                     base=config.base.with_changes(**base_changes)
@@ -552,4 +689,7 @@ class ExperimentConfig:
         tiles = self._tile_config()
         if tiles is not None:
             changes["tiles"] = tiles
+        stripe = self._stripe_config()
+        if stripe is not None:
+            changes["stripe"] = stripe
         return config.with_changes(**changes) if changes else config

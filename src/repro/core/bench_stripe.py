@@ -1,0 +1,208 @@
+"""Stripe benchmark: parity-read overhead and flaky-drill tail latency.
+
+The tentpole claim of the parity-striped DPSS is that a slow or
+crashed server costs a reconstruction, not a timeout+retry round
+trip: under the ``sc99-flaky`` drill the p99 DPSS read latency must
+stay within 25% of the *fault-free unstriped* baseline, where the
+unstriped path pays multi-second retry tails. This suite runs the
+drill campaign four ways -- fault-free and flaky, striped and
+unstriped -- plus a single-server slowburn that must be fully masked
+by reconstruction, and gates on three higher-is-better ratios:
+
+- ``tail_containment`` -- fault-free unstriped p99 over flaky striped
+  p99 (the acceptance criterion, additionally hard-asserted at the
+  25% bound),
+- ``tail_speedup`` -- flaky unstriped p99 over flaky striped p99 (the
+  reconstruct-instead-of-retry win), and
+- ``clean_overhead`` -- fault-free unstriped p99 over fault-free
+  striped p99 (hedged reads must be free when nothing fails).
+
+Payload shape mirrors :mod:`repro.core.bench` so CI shares one
+``check_floors`` gate::
+
+    visapult bench --suite stripe --quick --output BENCH_stripe.json --check
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.bench import REGRESSION_TOLERANCE, check_floors
+
+__all__ = [
+    "bench_drill",
+    "run_suite",
+    "check_regression",
+    "write_results",
+    "summary",
+]
+
+#: the acceptance bound: flaky striped p99 vs fault-free unstriped p99
+TAIL_BOUND = 1.25
+
+
+def bench_drill(
+    *,
+    striped: bool,
+    faults: str = "flaky",
+    n_timesteps: int = 6,
+) -> Dict[str, Any]:
+    """One sc99-flaky drill run; returns its simulated read facts.
+
+    ``faults`` picks the schedule: ``"flaky"`` keeps the drill's own
+    plan (double crash + loss spike + slowdown), ``"slowburn"`` swaps
+    in one long single-server slowdown (the reconstruction showcase),
+    ``"none"`` clears it for the fault-free baseline.
+    """
+    import dataclasses
+
+    from repro.config import StripeConfig
+    from repro.core.campaign import named_campaign, run_campaign
+    from repro.faults import FaultPlan, ServerSlowdown
+
+    config = named_campaign("sc99-flaky")
+    config = dataclasses.replace(config, n_timesteps=n_timesteps)
+    if faults == "none":
+        config = dataclasses.replace(config, faults=None, policy=None)
+    elif faults == "slowburn":
+        config = dataclasses.replace(
+            config,
+            faults=FaultPlan.of(
+                [
+                    ServerSlowdown(
+                        at=0.2,
+                        duration=30.0,
+                        server="dpss1",
+                        factor=0.02,
+                    )
+                ]
+            ),
+        )
+    stripe: Optional[StripeConfig] = (
+        StripeConfig.from_spec("4+1") if striped else None
+    )
+    config = dataclasses.replace(config, stripe=stripe)
+    result = run_campaign(config)
+    return {
+        "p99_s": round(result.read_p99, 6),
+        "retries": result.retries,
+        "reconstructions": result.reconstructions,
+        "degraded_frames": result.degraded_frames,
+        "parity_mb": round(result.parity_bytes / 1e6, 3),
+        "frames_complete": result.viewer_frames_complete,
+    }
+
+
+def _assert_tail(entry: Dict[str, Any]) -> None:
+    """The suite's correctness gates, independent of the floor check."""
+    clean = entry["clean_unstriped"]["p99_s"]
+    flaky = entry["flaky_striped"]["p99_s"]
+    if flaky > TAIL_BOUND * clean:
+        raise AssertionError(
+            f"flaky striped p99 {flaky:.3f}s exceeds {TAIL_BOUND}x the "
+            f"fault-free unstriped baseline {clean:.3f}s"
+        )
+    if entry["flaky_striped"]["retries"] != 0:
+        raise AssertionError(
+            "striped reads must reconstruct, not retry: saw "
+            f"{entry['flaky_striped']['retries']} retries"
+        )
+    slowburn = entry["slowburn_striped"]
+    if slowburn["reconstructions"] == 0:
+        raise AssertionError(
+            "the slowburn drill must exercise XOR reconstruction"
+        )
+    if slowburn["degraded_frames"] != 0:
+        raise AssertionError(
+            "a single slow server must be fully masked by parity: "
+            f"{slowburn['degraded_frames']} frame(s) degraded"
+        )
+
+
+def run_suite(*, quick: bool = False) -> Dict[str, Any]:
+    """Run the stripe suite; returns the BENCH_stripe payload."""
+    n_timesteps = 4 if quick else 8
+    runs = {
+        "clean_unstriped": bench_drill(
+            striped=False, faults="none", n_timesteps=n_timesteps
+        ),
+        "clean_striped": bench_drill(
+            striped=True, faults="none", n_timesteps=n_timesteps
+        ),
+        "flaky_unstriped": bench_drill(
+            striped=False, faults="flaky", n_timesteps=n_timesteps
+        ),
+        "flaky_striped": bench_drill(
+            striped=True, faults="flaky", n_timesteps=n_timesteps
+        ),
+        "slowburn_striped": bench_drill(
+            striped=True, faults="slowburn", n_timesteps=n_timesteps
+        ),
+    }
+    _assert_tail(runs)
+    clean = runs["clean_unstriped"]["p99_s"]
+    entry: Dict[str, Any] = dict(runs)
+    entry["n_timesteps"] = n_timesteps
+    entry["tail_containment"] = round(
+        clean / runs["flaky_striped"]["p99_s"], 3
+    )
+    entry["tail_speedup"] = round(
+        runs["flaky_unstriped"]["p99_s"] / runs["flaky_striped"]["p99_s"],
+        3,
+    )
+    entry["clean_overhead"] = round(
+        clean / runs["clean_striped"]["p99_s"], 3
+    )
+    return {
+        "suite": "stripe-redundancy",
+        "quick": quick,
+        "benchmarks": {"sc99_flaky": entry},
+    }
+
+
+def _ratios(results: Dict[str, Any]) -> Dict[str, float]:
+    ratios = {}
+    for name, entry in results.get("benchmarks", {}).items():
+        for metric in ("tail_containment", "tail_speedup",
+                       "clean_overhead"):
+            ratios[f"{name}.{metric}"] = entry[metric]
+    return ratios
+
+
+def check_regression(
+    results: Dict[str, Any],
+    baseline: Dict[str, float],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Gate the measured ratios against the checked-in floors."""
+    return check_floors(
+        _ratios(results), baseline, tolerance=tolerance, what="ratio"
+    )
+
+
+def write_results(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def summary(results: Dict[str, Any]) -> str:
+    lines = ["stripe benchmarks (p99 DPSS read latency):"]
+    for name, entry in results.get("benchmarks", {}).items():
+        lines.append(
+            f"  {name:12s} clean {entry['clean_unstriped']['p99_s']:.3f}s"
+            f" | flaky unstriped {entry['flaky_unstriped']['p99_s']:.3f}s"
+            f" ({entry['flaky_unstriped']['retries']} retries)"
+            f" | flaky striped {entry['flaky_striped']['p99_s']:.3f}s"
+            f" ({entry['flaky_striped']['reconstructions']} recon)"
+        )
+        lines.append(
+            f"  {'':12s} containment {entry['tail_containment']:.2f}x,"
+            f" tail speedup {entry['tail_speedup']:.2f}x,"
+            f" clean overhead {entry['clean_overhead']:.2f}x,"
+            f" slowburn recon "
+            f"{entry['slowburn_striped']['reconstructions']}"
+        )
+    return "\n".join(lines)

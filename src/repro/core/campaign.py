@@ -13,7 +13,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.backend.sim import SimBackEnd
-from repro.config import BackendConfig, NetworkConfig, TileConfig
+from repro.config import (
+    BackendConfig,
+    NetworkConfig,
+    StripeConfig,
+    TileConfig,
+)
 from repro.core.platforms import (
     DPSS_DISK_RATE,
     DPSS_DISKS_PER_SERVER,
@@ -30,7 +35,13 @@ from repro.dpss.blocks import DpssDataset
 from repro.dpss.master import DpssMaster
 from repro.dpss.server import DpssServer
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    FaultPlan,
+    LossSpike,
+    MasterStall,
+    ServerCrash,
+    ServerSlowdown,
+)
 from repro.faults.policy import RequestPolicy
 from repro.netlogger.daemon import NetLogDaemon
 from repro.netsim.host import Host
@@ -79,6 +90,10 @@ class CampaignConfig:
     #: tile-based distributed framebuffer mode; ``None`` (and the
     #: default disabled config) keep the historical whole-slab path
     tiles: Optional[TileConfig] = None
+    #: parity-striped DPSS with redundant k-of-n reads; ``None`` (and
+    #: the default disabled config) keep the round-robin placement and
+    #: the retry-based fault path
+    stripe: Optional[StripeConfig] = None
 
     def __post_init__(self):
         if self.n_pes < 1:
@@ -183,6 +198,38 @@ class CampaignConfig:
             **kw,
         )
 
+    @classmethod
+    def sc99_flaky(cls, *, n_timesteps: int = 6, **kw) -> "CampaignConfig":
+        """The flaky-show-floor drill as a first-class campaign: the
+        SC99 show-floor run at demo scale with the fault schedule of
+        ``examples/plans/sc99_flaky.json`` baked in (two server
+        crashes, a WAN loss spike, a master stall, a slowdown) and the
+        aggressive request policy. The standard testbed for comparing
+        retry-based recovery against parity-striped reads
+        (``--stripe 4+1``)."""
+        plan = FaultPlan.of([
+            ServerCrash(at=0.6, duration=3.0, server="dpss0"),
+            ServerCrash(at=0.6, duration=3.0, server="dpss1"),
+            LossSpike(at=1.5, duration=1.0, link="wan", factor=0.4),
+            MasterStall(at=2.0, duration=0.3),
+            ServerSlowdown(
+                at=3.8, duration=0.8, server="dpss2", factor=0.25
+            ),
+        ])
+        return cls(
+            name="sc99-flaky",
+            platform=Platforms.BABEL,
+            wan=Wans.SCINET99,
+            n_pes=8,
+            n_timesteps=n_timesteps,
+            shape=(160, 64, 64),
+            dataset_timesteps=8,
+            seed=7,
+            faults=plan,
+            policy=RequestPolicy.aggressive(),
+            **kw,
+        )
+
     def with_changes(self, **kw) -> "CampaignConfig":
         """A modified copy (ablations, sweeps)."""
         return replace(self, **kw)
@@ -220,6 +267,7 @@ _NAMED_CAMPAIGNS: Dict[str, Callable[[bool], object]] = {
     "esnet_anl": lambda ov: CampaignConfig.esnet_anl_smp(overlapped=ov),
     "sc99_cosmology": lambda ov: CampaignConfig.sc99_cosmology(),
     "sc99_showfloor": lambda ov: CampaignConfig.sc99_showfloor(),
+    "sc99-flaky": lambda ov: CampaignConfig.sc99_flaky(),
 }
 
 
@@ -255,13 +303,27 @@ def build_session(config: CampaignConfig):
     net = Network()
     daemon = NetLogDaemon()
 
+    # Parity striping needs one server per stripe position; the
+    # historical 4-server site grows to the stripe width when needed
+    # (and only then -- the unstriped world stays byte-identical).
+    stripe = (
+        config.stripe
+        if config.stripe is not None and config.stripe.enabled
+        else None
+    )
+    n_servers = (
+        max(DPSS_N_SERVERS, stripe.width)
+        if stripe is not None
+        else DPSS_N_SERVERS
+    )
+
     # --- DPSS site -----------------------------------------------------
     dpss_lan = net.add_link(
         Link("dpss-lan", rate=mbps(2000.0), latency=0.0001)
     )
     master_host = net.add_host(Host("dpss-master", nic_rate=mbps(100.0)))
     master = DpssMaster(master_host)
-    for i in range(DPSS_N_SERVERS):
+    for i in range(n_servers):
         h = net.add_host(
             Host(f"dpss{i}", nic_rate=DPSS_SERVER_NIC)
         )
@@ -317,7 +379,7 @@ def build_session(config: CampaignConfig):
     # run to run (VIS201).
     for host in dict.fromkeys(h.name for h in pe_hosts):
         net.add_route("dpss-master", host, [dpss_lan, wan])
-        for i in range(DPSS_N_SERVERS):
+        for i in range(n_servers):
             net.add_route(f"dpss{i}", host, [dpss_lan, wan])
 
     # --- viewer ---------------------------------------------------------
@@ -349,10 +411,15 @@ def build_session(config: CampaignConfig):
     # keeps the historical single-copy placement bit-for-bit.
     active_faults = config.faults if config.faults else None
     meta = config.meta
+    # Parity replaces replication: a striped dataset stays single-copy
+    # even under a fault plan (reconstruction is the failover).
     master.register_dataset(
         DpssDataset(name=meta.name, size=float(meta.total_bytes),
                     block_size=64 * KIB),
-        replicas=2 if active_faults is not None else 1,
+        replicas=(
+            2 if active_faults is not None and stripe is None else 1
+        ),
+        stripe=stripe,
     )
 
     # --- endpoints ---------------------------------------------------------
@@ -360,6 +427,19 @@ def build_session(config: CampaignConfig):
     policy = config.policy
     if policy is None and active_faults is not None:
         policy = RequestPolicy()
+    health = None
+    if stripe is not None:
+        from repro.dpss.health import HealthTracker
+        from repro.netlogger.logger import NetLogger
+
+        health = HealthTracker(
+            now=lambda: net.env.now,
+            half_life=stripe.health_half_life,
+            logger=NetLogger(
+                "dpss-client", "health",
+                clock=lambda: net.env.now, daemon=daemon,
+            ),
+        )
     viewer = SimViewer(
         net, "viewer", daemon=daemon,
         config=NetworkConfig(tcp=TcpParams(max_window=1024 * KIB)),
@@ -388,9 +468,13 @@ def build_session(config: CampaignConfig):
                 plat.overlap_jitter_cv if config.overlapped else 0.0
             ),
             seed=config.seed,
-            network=NetworkConfig(tcp=tcp, policy=policy),
+            network=NetworkConfig(
+                tcp=tcp, policy=policy,
+                stripe=stripe if stripe is not None else StripeConfig(),
+            ),
             tiles=config.tiles if config.tiles is not None else TileConfig(),
         ),
+        health=health,
     )
 
     # --- faults ----------------------------------------------------------
@@ -402,6 +486,11 @@ def build_session(config: CampaignConfig):
         injector = FaultInjector(
             net, master, active_faults, daemon=daemon, link_aliases=aliases
         )
+        if health is not None:
+            # Crash/flap observations bias which server the striped
+            # reads leave out; attached only when striping is on, so
+            # the unstriped event stream stays byte-identical.
+            injector.observers.append(health.observe_fault)
         injector.start()
         net.fault_injector = injector
     return net, backend, viewer, daemon

@@ -65,6 +65,17 @@ class CampaignResult:
     tiles_ref: int = 0
     #: tile mode: texture bytes delta references kept off the WAN
     tile_bytes_saved: float = 0.0
+    #: striped mode: hedged duplicates torn down before completing
+    #: (these never count as retries)
+    hedges_abandoned: int = 0
+    #: striped mode: blocks rebuilt from parity instead of re-read
+    reconstructions: int = 0
+    #: striped mode: redundancy bytes (parity + fillers) on the wire
+    parity_bytes: float = 0.0
+    #: striped mode: redundant shares cancelled once coverage was met
+    stripe_cancels: int = 0
+    #: p99 of per-read DPSS latency across all PEs and frames
+    read_p99: float = 0.0
 
     @classmethod
     def from_run(
@@ -139,6 +150,15 @@ class CampaignResult:
             tiles_full=backend.timing.tiles_full,
             tiles_ref=backend.timing.tiles_ref,
             tile_bytes_saved=backend.timing.tile_bytes_saved,
+            hedges_abandoned=backend.timing.hedges_abandoned,
+            reconstructions=backend.timing.reconstructions,
+            parity_bytes=backend.timing.parity_bytes,
+            stripe_cancels=backend.timing.stripe_cancels,
+            read_p99=(
+                float(np.percentile(backend.timing.read_seconds, 99))
+                if backend.timing.read_seconds
+                else 0.0
+            ),
         )
 
     # -- derived -----------------------------------------------------------
@@ -190,6 +210,11 @@ class CampaignResult:
             "tiles_full": self.tiles_full,
             "tiles_ref": self.tiles_ref,
             "tile_bytes_saved": self.tile_bytes_saved,
+            "hedges_abandoned": self.hedges_abandoned,
+            "reconstructions": self.reconstructions,
+            "parity_bytes": self.parity_bytes,
+            "stripe_cancels": self.stripe_cancels,
+            "read_p99": self.read_p99,
         }
 
     def summary(self) -> str:
@@ -218,6 +243,14 @@ class CampaignResult:
                 f"  faults            : {self.degraded_frames} degraded"
                 f" frame(s), {self.retries} retries, {self.hedges} hedges,"
                 f" recovery {fmt_seconds(self.recovery_seconds)}"
+            )
+        if getattr(cfg, "stripe", None) is not None and cfg.stripe.enabled:
+            lines.append(
+                f"  stripe {cfg.stripe.spec():<11}: "
+                f"{self.reconstructions} reconstruction(s),"
+                f" {self.parity_bytes / 1e6:.1f} MB redundancy,"
+                f" {self.stripe_cancels} cancel(s),"
+                f" p99 read {self.read_p99:.2f} s"
             )
         if self.tiles_full or self.tiles_ref:
             total = self.tiles_full + self.tiles_ref

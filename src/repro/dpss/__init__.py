@@ -25,6 +25,8 @@ from repro.dpss.server import DpssServer
 from repro.dpss.master import AccessDenied, DpssMaster, ServerUnavailable
 from repro.dpss.client import DpssClient, DpssHandle, ReadStats
 from repro.dpss.compression import CompressionModel
+from repro.dpss.health import HealthTracker, ServerHealth
+from repro.dpss.stripe import StripeMap, StripeStore, XorCodec
 
 __all__ = [
     "BlockMap",
@@ -37,4 +39,9 @@ __all__ = [
     "DpssHandle",
     "ReadStats",
     "CompressionModel",
+    "HealthTracker",
+    "ServerHealth",
+    "StripeMap",
+    "StripeStore",
+    "XorCodec",
 ]

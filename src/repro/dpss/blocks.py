@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.util.units import KIB
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle
+    from repro.dpss.stripe import StripeMap
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,12 @@ class BlockMap:
     server leaves every block reachable -- the redundancy the paper's
     DPSS lacked ("the DPSS stripes without replication") and fault
     drills lean on.
+
+    With ``stripe`` set (a :class:`~repro.dpss.stripe.StripeMap`),
+    placement delegates to the RAID-5 parity layout instead: blocks
+    are interleaved around the rotating parity positions, redundancy
+    comes from parity rather than copies (``replicas`` must stay 1),
+    and readers recover a lost server by XOR reconstruction.
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class BlockMap:
         server_names: List[str],
         *,
         replicas: int = 1,
+        stripe: Optional["StripeMap"] = None,
     ):
         if not server_names:
             raise ValueError("dataset must be striped over >= 1 server")
@@ -56,9 +66,26 @@ class BlockMap:
             raise ValueError(
                 f"replicas must be in [1, {len(server_names)}], got {replicas}"
             )
+        if stripe is not None:
+            if replicas != 1:
+                raise ValueError(
+                    "parity striping replaces replication; replicas must "
+                    f"be 1 when a StripeMap is set, got {replicas}"
+                )
+            if stripe.dataset != dataset:
+                raise ValueError(
+                    f"StripeMap is for dataset {stripe.dataset.name!r}, "
+                    f"not {dataset.name!r}"
+                )
+            if stripe.server_names != list(server_names):
+                raise ValueError(
+                    "StripeMap server set does not match the BlockMap's: "
+                    f"{stripe.server_names} != {list(server_names)}"
+                )
         self.dataset = dataset
         self.server_names = list(server_names)
         self.replicas = int(replicas)
+        self.stripe = stripe
 
     def server_of_block(self, block: int) -> str:
         """The primary server holding a logical block."""
@@ -66,6 +93,8 @@ class BlockMap:
             raise IndexError(
                 f"block {block} outside [0, {self.dataset.n_blocks})"
             )
+        if self.stripe is not None:
+            return self.stripe.server_of_block(block)
         return self.server_names[block % len(self.server_names)]
 
     def replica_servers(self, block: int) -> List[str]:
@@ -74,6 +103,9 @@ class BlockMap:
             raise IndexError(
                 f"block {block} outside [0, {self.dataset.n_blocks})"
             )
+        if self.stripe is not None:
+            # Parity, not copies: the only literal holder is the owner.
+            return [self.stripe.server_of_block(block)]
         n = len(self.server_names)
         return [
             self.server_names[(block + j) % n] for j in range(self.replicas)

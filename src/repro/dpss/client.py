@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import NetworkConfig, _UNSET, warn_deprecated_kwarg
 from repro.dpss.blocks import BlockMap
 from repro.dpss.compression import CompressionModel
+from repro.dpss.stripe import StripeMap, XorCodec
 from repro.faults.policy import ReadTimeout, RequestPolicy
 from repro.netlogger.events import Tags
 from repro.netlogger.logger import NetLogger
@@ -38,6 +39,7 @@ from repro.simcore.pipeline import Pipeline
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.dpss.health import HealthTracker
     from repro.dpss.master import DpssMaster
     from repro.dpss.server import DpssServer
     from repro.netsim.topology import Network
@@ -64,10 +66,25 @@ class ReadStats:
     retries: int = 0
     #: hedged duplicate reads issued to replica servers
     hedges: int = 0
+    #: hedged reads cancelled without delivering (the primary won, or
+    #: the attempt's deadline tore the hedge down) -- tracked apart
+    #: from ``retries`` so abandoned hedges never inflate it
+    hedges_abandoned: int = 0
     #: servers whose share was abandoned after exhausting the policy
     failed_servers: List[str] = field(default_factory=list)
     #: bytes the read gave up on (0 for a complete read)
     missing_bytes: float = 0.0
+    #: striped mode: blocks rebuilt by XOR instead of read directly
+    reconstructions: int = 0
+    #: striped mode: delivered bytes that came out of reconstructions
+    reconstructed_bytes: float = 0.0
+    #: striped mode: redundancy bytes (parity blocks, out-of-range
+    #: sibling blocks and full-block rounding of boundary blocks) that
+    #: crossed the wire on top of the delivered data itself
+    parity_wire_bytes: float = 0.0
+    #: striped mode: in-flight shares cancelled once their blocks were
+    #: resolved another way (the k-of-n straggler cancellations)
+    shares_cancelled: int = 0
 
     @property
     def duration(self) -> float:
@@ -106,6 +123,12 @@ class DpssClient:
     jitter (no generator = no jitter, still deterministic).
     """
 
+    #: pluggable striped-read engine: one instance per dpss_read when
+    #: ``config.stripe.enabled`` and the dataset carries a StripeMap.
+    #: Assigned after :class:`RedundantReadRequestor` is defined below;
+    #: swap it to experiment with other redundant-read policies.
+    requestor_cls: type
+
     def __init__(
         self,
         network: "Network",
@@ -115,6 +138,7 @@ class DpssClient:
         config: Optional[NetworkConfig] = None,
         logger: Optional[NetLogger] = None,
         rng: Optional[np.random.Generator] = None,
+        health: Optional["HealthTracker"] = None,
         tcp_params: Optional[TcpParams] = _UNSET,
         compression: Optional[CompressionModel] = _UNSET,
     ):
@@ -150,6 +174,12 @@ class DpssClient:
         self.config = config if config is not None else NetworkConfig()
         self.logger = logger
         self.rng = rng
+        #: shared per-server health state biasing striped reads; None
+        #: means no biasing (every server is assumed healthy)
+        self.health = health
+        #: parity codec for striped reads/writes (swap for a different
+        #: cost model)
+        self.codec = XorCodec()
         self._server_conns: Dict[Tuple[str, str], TcpConnection] = {}
         #: recovery connections (failover/hedge), leased per read
         self._pools: Dict[str, List[TcpConnection]] = {}
@@ -288,6 +318,15 @@ class DpssClient:
 
     def _read_proc(self, handle: DpssHandle, offset: float, nbytes: float,
                    label: str):
+        if (
+            self.config.stripe.enabled
+            and handle.block_map.stripe is not None
+        ):
+            requestor = self.requestor_cls(
+                self, handle.block_map, offset, nbytes, label
+            )
+            stats = yield from requestor.run()
+            return stats
         if self.policy is not None:
             stats = yield from self._read_policy_proc(
                 handle, offset, nbytes, label
@@ -485,7 +524,12 @@ class DpssClient:
                     stats.failed_servers.append(target)
                     stats.missing_bytes += n_bytes
                     return None
-                stats.retries += 1
+                if not getattr(exc, "hedge_abandoned", False):
+                    # An attempt whose deadline tore down an in-flight
+                    # hedge already took its recovery action -- the
+                    # relaunch replaces the abandoned hedge (counted in
+                    # ``hedges_abandoned``), it is not an extra retry.
+                    stats.retries += 1
                 delay = policy.backoff_delay(attempt, self.rng)
                 self._log(
                     Tags.RETRY_BACKOFF, server=target, attempt=attempt,
@@ -552,6 +596,7 @@ class DpssClient:
             else None
         )
         hedged = False
+        hedge_proc = None
         while True:
             waits = [p for p in reads if not p.processed]
             if deadline is not None and not deadline.processed:
@@ -573,6 +618,8 @@ class DpssClient:
             if winner is not None:
                 for p in reads:
                     if p.is_alive:
+                        if p is hedge_proc:
+                            stats.hedges_abandoned += 1
                         p.interrupt("lost-race")
                 stats.cache_hit_blocks += hits
                 stats.wire_bytes += wire
@@ -592,20 +639,27 @@ class DpssClient:
                         dataset.name, list(blocks), dataset.block_size
                     )
                     rfrac = rmisses / n_blocks if n_blocks else 0.0
-                    reads.append(
-                        self._launch_read(rserver, wire, rfrac, label)
+                    hedge_proc = self._launch_read(
+                        rserver, wire, rfrac, label
                     )
+                    reads.append(hedge_proc)
             if deadline is not None and deadline.processed:
+                hedge_torn_down = False
                 for p in reads:
                     if p.is_alive:
+                        if p is hedge_proc:
+                            stats.hedges_abandoned += 1
+                            hedge_torn_down = True
                         p.interrupt("deadline")
                 for p in reads:
                     if not p.processed:
                         yield p
-                raise ReadTimeout(
+                timeout_exc = ReadTimeout(
                     f"read from {server_name!r} exceeded "
                     f"{policy.timeout}s"
                 )
+                timeout_exc.hedge_abandoned = hedge_torn_down
+                raise timeout_exc
 
     @staticmethod
     def _pick_winner(reads) -> Optional[TransferStats]:
@@ -692,6 +746,14 @@ class DpssClient:
 
     def _write_proc(self, handle: DpssHandle, offset: float, nbytes: float,
                     label: str):
+        if (
+            self.config.stripe.enabled
+            and handle.block_map.stripe is not None
+        ):
+            stats = yield from self._striped_write_proc(
+                handle, offset, nbytes, label
+            )
+            return stats
         env = self.network.env
         start = env.now
         block_map = handle.block_map
@@ -734,6 +796,83 @@ class DpssClient:
         stats.end = env.now
         return stats
 
+    def _striped_write_proc(self, handle: DpssHandle, offset: float,
+                            nbytes: float, label: str):
+        """Striped write: full data blocks plus rotating parity.
+
+        Parity is regenerated for every touched stripe (the simulation
+        moves byte counts, so a partial-stripe write is charged the
+        same parity pass a read-modify-write would cost) and written to
+        the stripe's rotating parity holder. Freshly written data and
+        parity blocks land in the owners' caches -- parity blocks are
+        first-class blocks and cache like any other.
+        """
+        env = self.network.env
+        start = env.now
+        block_map = handle.block_map
+        smap = block_map.stripe
+        assert smap is not None
+        dataset = block_map.dataset
+        blocks = block_map.blocks_for_range(offset, nbytes)
+        stripes = smap.stripes_for_blocks(blocks)
+        stats = ReadStats(nbytes=float(nbytes), start=start, end=start)
+        stats.total_blocks = len(blocks)
+
+        per_server: Dict[str, List[int]] = {}
+        xor_input = 0.0
+        for b in blocks:
+            per_server.setdefault(smap.server_of_block(b), []).append(b)
+        for s in stripes:
+            per_server.setdefault(smap.parity_server(s), []).append(
+                smap.parity_block_id(s)
+            )
+            xor_input += sum(
+                smap.block_bytes(b) for b in smap.data_blocks(s)
+            )
+
+        # The parity pass runs on the writing client before any send.
+        cpu = self.codec.xor_seconds(xor_input)
+        if cpu > 0:
+            host = self.network.hosts[self.host_name]
+            yield host.compute(cpu, label=f"{label}:parity")
+
+        def size_of(block_id: int) -> float:
+            if block_id >= dataset.n_blocks:
+                return smap.parity_bytes(smap.stripe_of_parity_id(block_id))
+            return smap.block_bytes(block_id)
+
+        def server_write(server_name: str, n_bytes: float):
+            server = self.master.servers[server_name]
+            conn = self._connection_to(server_name, direction="write")
+            t0 = env.now
+            transfer = yield from self._server_transfer(
+                conn, server, n_bytes, 1.0, label,
+                lead=server.per_request_overhead,
+            )
+            stats.per_server_seconds[server_name] = env.now - t0
+            return transfer
+
+        events = []
+        for server_name, ids in sorted(per_server.items()):
+            server = self.master.servers[server_name]
+            # Freshly written blocks (parity included) cache-reside.
+            server.cache_lookup(dataset.name, ids, dataset.block_size)
+            n_bytes = sum(size_of(bid) for bid in ids)
+            events.append(env.process(server_write(server_name, n_bytes)))
+            stats.per_server_bytes[server_name] = n_bytes
+            stats.wire_bytes += n_bytes
+        stats.parity_wire_bytes = max(
+            stats.wire_bytes - float(nbytes), 0.0
+        )
+        self._log(
+            Tags.STRIPE_WRITE, stripes=len(stripes),
+            servers=len(per_server), nbytes=round(stats.wire_bytes),
+        )
+        if events:
+            yield env.all_of(events)
+        stats.end = env.now
+        return stats
+
     def close(self, handle: DpssHandle) -> None:
         """Close a handle; further operations on it raise."""
         handle.closed = True
@@ -741,3 +880,462 @@ class DpssClient:
     def _check_open(self, handle: DpssHandle) -> None:
         if handle.closed:
             raise ValueError("operation on closed DPSS handle")
+
+
+class RedundantReadRequestor:
+    """k-of-n striped read engine: reconstruct instead of retry.
+
+    One instance drives one ``dpss_read`` against a parity-striped
+    dataset. Every server gets at most one *share* per wave (a
+    full-block transfer); the read completes as soon as the arrived
+    shares cover every requested block either directly or by XOR
+    reconstruction, and in-flight shares that can no longer contribute
+    are cancelled -- the slowest server never holds up the read, which
+    is the whole point of striping with parity.
+
+    Two launch policies (``StripeConfig.read_policy``):
+
+    - ``"eager"``: every live server's share carries its data blocks
+      *plus* its parity/filler blocks, so any ``n_data`` of the
+      ``width`` shares complete the read -- maximum tail-latency
+      protection at ``~1/n_data`` extra wire bytes.
+    - ``"hedged"``: data shares launch alone; the parity/filler
+      *repair* shares launch only once a share is still unfinished
+      ``straggler_after`` seconds in (or immediately, for servers that
+      are offline or health-avoided) -- near-zero overhead while the
+      world is healthy.
+
+    Striped transfers move whole blocks (the DPSS is a block store and
+    XOR needs full siblings): boundary blocks are fetched in full and
+    trimmed locally, and out-of-range siblings needed only for
+    reconstruction ("fillers") are fetched but never delivered; both
+    count toward ``ReadStats.parity_wire_bytes``. Wire compression is
+    intentionally not applied in striped mode -- parity bytes are
+    incompressible and the block store ships raw blocks.
+
+    The health tracker spends the *single-erasure budget*: at most one
+    live server is read around, and only while no server is outright
+    offline. A straggler that emerges later spends the budget instead,
+    so repair waves ignore the avoidance decision. Blocks whose stripe
+    has lost two holders are delivered absent immediately
+    (``STRIPE_GIVEUP`` with reason ``no-path``); a mid-read double
+    fault is caught by the ``StripeConfig.timeout`` deadline, since
+    stalled fluid transfers never die on their own.
+    """
+
+    def __init__(self, client: DpssClient, block_map: BlockMap,
+                 offset: float, nbytes: float, label: str):
+        smap = block_map.stripe
+        assert smap is not None
+        self.client = client
+        self.block_map = block_map
+        self.smap: StripeMap = smap
+        self.cfg = client.config.stripe
+        self.offset = float(offset)
+        self.nbytes = float(nbytes)
+        self.label = label
+        self.env = client.network.env
+        self.dataset = block_map.dataset
+
+        bs = self.dataset.block_size
+        #: requested data blocks, in id order
+        self.wanted: List[int] = list(
+            block_map.blocks_for_range(offset, nbytes)
+        )
+        #: block id -> bytes of it delivered to the caller (trimmed)
+        self.span: Dict[int, float] = {}
+        for b in self.wanted:
+            lo = max(b * bs, self.offset)
+            hi = min((b + 1) * bs, self.offset + self.nbytes)
+            self.span[b] = hi - lo
+
+        wanted_set = set(self.wanted)
+        self.stripes: List[int] = smap.stripes_for_blocks(self.wanted)
+        #: block id (data and parity) -> owning server
+        self.owner: Dict[int, str] = {}
+        #: stripe -> parity block id
+        self.parity_id: Dict[int, int] = {}
+        #: stripe -> its data block ids
+        self.siblings: Dict[int, List[int]] = {}
+        #: block id -> full transfer size on the wire
+        self.size_of: Dict[int, float] = {}
+        #: block id (data, filler or parity) -> stripe
+        self.stripe_of: Dict[int, int] = {}
+        #: server -> requested data blocks it owns
+        self.data_share: Dict[str, List[int]] = {}
+        #: server -> parity + filler blocks it owns (the repair share)
+        self.repair_share: Dict[str, List[int]] = {}
+        for s in self.stripes:
+            pid = smap.parity_block_id(s)
+            pserver = smap.parity_server(s)
+            self.parity_id[s] = pid
+            self.stripe_of[pid] = s
+            self.owner[pid] = pserver
+            self.size_of[pid] = smap.parity_bytes(s)
+            self.repair_share.setdefault(pserver, []).append(pid)
+            sibs = list(smap.data_blocks(s))
+            self.siblings[s] = sibs
+            for b in sibs:
+                server = smap.server_of_block(b)
+                self.owner[b] = server
+                self.size_of[b] = smap.block_bytes(b)
+                self.stripe_of[b] = s
+                if b in wanted_set:
+                    self.data_share.setdefault(server, []).append(b)
+                else:
+                    self.repair_share.setdefault(server, []).append(b)
+
+        now = self.env.now
+        self.stats = ReadStats(nbytes=self.nbytes, start=now, end=now)
+        self.stats.total_blocks = len(self.wanted)
+        #: requested blocks not yet delivered, reconstructed or given up
+        self.unresolved: Set[int] = set(self.wanted)
+        #: block ids (data, filler and parity) fully arrived so far
+        self.arrived: Set[int] = set()
+        #: in-flight proc -> (server, block ids, wire bytes, kind, t0)
+        self.pending: Dict = {}
+        self.repairs_launched = False
+        self.xor_cpu = 0.0
+
+    # -- helpers --------------------------------------------------------
+    def _log(self, tag: str, **data) -> None:
+        self.client._log(tag, **data)
+
+    def _useful(self, block_id: int) -> bool:
+        """Could this in-flight block still advance the read?"""
+        if block_id in self.span:
+            return block_id in self.unresolved
+        stripe = self.stripe_of[block_id]
+        return any(
+            b in self.unresolved
+            for b in self.siblings[stripe]
+            if b in self.span
+        )
+
+    def _launch(self, server_name: str, block_ids: List[int],
+                kind: str) -> None:
+        """Fire one share at a server as a cancellable transfer."""
+        client = self.client
+        server = client.master.servers[server_name]
+        data_ids = [b for b in block_ids if b in self.span]
+        redundancy_ids = [b for b in block_ids if b not in self.span]
+        misses = 0
+        if data_ids:
+            hits, miss = server.cache_lookup(
+                self.dataset.name, data_ids, self.dataset.block_size
+            )
+            self.stats.cache_hit_blocks += hits
+            misses += miss
+        if redundancy_ids:
+            # Cached parity/fillers skip the disk but are not data
+            # cache hits from the caller's point of view.
+            _hits, miss = server.cache_lookup(
+                self.dataset.name, redundancy_ids, self.dataset.block_size
+            )
+            misses += miss
+        share_bytes = sum(self.size_of[b] for b in block_ids)
+        disk_fraction = misses / len(block_ids) if block_ids else 0.0
+        proc = client._launch_read(
+            server, share_bytes, disk_fraction, self.label
+        )
+        self.pending[proc] = (
+            server_name, list(block_ids), share_bytes, kind, self.env.now
+        )
+        self._log(
+            Tags.STRIPE_READ, server=server_name, kind=kind,
+            blocks=len(block_ids), nbytes=round(share_bytes),
+        )
+
+    def _launch_repairs(self, *, offline: Set[str]) -> None:
+        """Fire the parity/filler shares for still-unresolved stripes.
+
+        Repairs skip only *offline* servers: a health-avoided server is
+        still read for repair bytes, because by the time a repair wave
+        fires some other server is the straggler and the one-erasure
+        budget is spent on it.
+        """
+        self.repairs_launched = True
+        shares = 0
+        total = 0.0
+        for server in self.smap.server_names:
+            if server in offline:
+                continue
+            ids = [
+                b for b in self.repair_share.get(server, [])
+                if self._useful(b) and b not in self.arrived
+            ]
+            if ids:
+                self._launch(server, ids, "repair")
+                shares += 1
+                total += sum(self.size_of[b] for b in ids)
+        if shares:
+            self._log(
+                Tags.STRIPE_REPAIR, shares=shares, nbytes=round(total)
+            )
+
+    def _give_up(self, blocks: Set[int], reason: str) -> None:
+        """Deliver-absent: record the loss and stop chasing it."""
+        total = 0.0
+        for b in sorted(blocks):
+            self.unresolved.discard(b)
+            total += self.span[b]
+            owner = self.owner[b]
+            if owner not in self.stats.failed_servers:
+                self.stats.failed_servers.append(owner)
+        self.stats.missing_bytes += total
+        self._log(
+            Tags.STRIPE_GIVEUP, reason=reason, blocks=len(blocks),
+            nbytes=round(total),
+        )
+
+    def _plan_launch(self) -> Tuple[Set[str], Set[str]]:
+        """Offline/health triage: (servers to skip, offline subset)."""
+        client = self.client
+        offline = {
+            name for name in self.smap.server_names
+            if not client.master.servers[name].online
+        }
+        dead = set(offline)
+        # Health avoidance spends the single-erasure budget, so it is
+        # skipped entirely while any server is outright offline.
+        if not offline and client.health is not None:
+            worst = client.health.worst(list(self.smap.server_names))
+            if worst is not None and client.health.should_avoid(
+                worst, threshold=self.cfg.avoid_threshold
+            ):
+                dead.add(worst)
+                self._log(
+                    Tags.HEALTH_AVOID, server=worst,
+                    score=round(client.health.score(worst), 6),
+                )
+        return dead, offline
+
+    def _hopeless_blocks(self, offline: Set[str]) -> Set[int]:
+        """Blocks whose stripe already lost two holders."""
+        hopeless = set()
+        for b in sorted(self.unresolved):
+            if self.owner[b] not in offline:
+                continue
+            stripe = self.stripe_of[b]
+            holders = [self.owner[self.parity_id[stripe]]]
+            holders += [
+                self.owner[sib]
+                for sib in self.siblings[stripe]
+                if sib != b
+            ]
+            if any(h in offline for h in holders):
+                hopeless.add(b)
+        return hopeless
+
+    # -- arrival processing ---------------------------------------------
+    def _absorb(self) -> None:
+        """Fold completed shares into the arrived set and the stats."""
+        stats = self.stats
+        for proc in [p for p in list(self.pending) if p.processed]:
+            server, block_ids, share_bytes, _kind, t0 = self.pending.pop(
+                proc
+            )
+            result = proc.value
+            if result is None or getattr(result, "aborted", False):
+                continue  # torn down underneath us; nothing arrived
+            duration = self.env.now - t0
+            delivered = 0.0
+            for b in block_ids:
+                self.arrived.add(b)
+                if b in self.span:
+                    delivered += self.span[b]
+            stats.wire_bytes += share_bytes
+            stats.parity_wire_bytes += share_bytes - delivered
+            stats.per_server_bytes[server] = (
+                stats.per_server_bytes.get(server, 0.0) + delivered
+            )
+            stats.per_server_seconds[server] = max(
+                stats.per_server_seconds.get(server, 0.0), duration
+            )
+            if self.client.health is not None:
+                self.client.health.observe_latency(
+                    server, duration, share_bytes
+                )
+
+    def _resolve(self) -> None:
+        """Mark direct arrivals, then reconstruct what parity allows."""
+        stats = self.stats
+        for b in sorted(self.unresolved):
+            if b in self.arrived:
+                self.unresolved.discard(b)
+        for b in sorted(self.unresolved):
+            stripe = self.stripe_of[b]
+            if self.parity_id[stripe] not in self.arrived:
+                continue
+            if all(
+                sib in self.arrived
+                for sib in self.siblings[stripe]
+                if sib != b
+            ):
+                self.unresolved.discard(b)
+                stats.reconstructions += 1
+                stats.reconstructed_bytes += self.span[b]
+                self.xor_cpu += self.client.codec.xor_seconds(
+                    len(self.siblings[stripe])
+                    * self.smap.parity_bytes(stripe)
+                )
+                self._log(
+                    Tags.STRIPE_RECONSTRUCT, block=b, stripe=stripe,
+                    nbytes=round(self.span[b]),
+                )
+
+    def _cancel_useless(self) -> None:
+        """Tear down shares that can no longer contribute a block."""
+        for proc in [p for p in list(self.pending) if not p.processed]:
+            server, block_ids, _share_bytes, kind, _t0 = self.pending[
+                proc
+            ]
+            if any(self._useful(b) for b in block_ids):
+                continue
+            del self.pending[proc]
+            if proc.is_alive:
+                proc.interrupt("stripe-cancel")
+            self.stats.shares_cancelled += 1
+            self._log(
+                Tags.STRIPE_CANCEL, server=server, kind=kind,
+                blocks=len(block_ids),
+            )
+
+    def _offline_now(self) -> Set[str]:
+        """Servers currently offline (re-polled mid-read)."""
+        master = self.client.master
+        return {
+            name for name in self.smap.server_names
+            if not master.servers[name].online
+        }
+
+    def _triage_offline(self, offline: Set[str]) -> None:
+        """Treat shares stalled on a crashed server as erasures.
+
+        A fluid transfer whose server crashes mid-read stalls rather
+        than dying, so waiting on it means waiting for the recovery or
+        the deadline, whichever comes first. Cancel it, repair around
+        it, and give up immediately on blocks whose stripe lost a
+        second holder -- deliver-absent beats a multi-second stall.
+        """
+        for proc in [p for p in list(self.pending) if not p.processed]:
+            server, block_ids, _share_bytes, kind, _t0 = self.pending[
+                proc
+            ]
+            if server not in offline:
+                continue
+            del self.pending[proc]
+            if proc.is_alive:
+                proc.interrupt("stripe-offline")
+            self.stats.shares_cancelled += 1
+            self._log(
+                Tags.STRIPE_CANCEL, server=server, kind=kind,
+                blocks=len(block_ids),
+            )
+        hopeless = self._hopeless_blocks(offline)
+        if hopeless:
+            self._give_up(hopeless, "no-path")
+        if self.unresolved and not self.repairs_launched:
+            self._launch_repairs(offline=offline)
+
+    # -- the read -------------------------------------------------------
+    def run(self):
+        env = self.env
+        cfg = self.cfg
+        stats = self.stats
+
+        dead, offline = self._plan_launch()
+        hopeless = self._hopeless_blocks(offline)
+        if hopeless:
+            self._give_up(hopeless, "no-path")
+
+        straggler = None
+        if cfg.read_policy == "eager":
+            for server in self.smap.server_names:
+                if server in dead:
+                    continue
+                ids = [
+                    b
+                    for b in (
+                        self.data_share.get(server, [])
+                        + self.repair_share.get(server, [])
+                    )
+                    if self._useful(b)
+                ]
+                if ids:
+                    self._launch(server, ids, "eager")
+            self.repairs_launched = True
+        else:
+            for server in self.smap.server_names:
+                if server in dead:
+                    continue
+                ids = [
+                    b for b in self.data_share.get(server, [])
+                    if b in self.unresolved
+                ]
+                if ids:
+                    self._launch(server, ids, "data")
+            if any(
+                self.owner[b] in dead for b in sorted(self.unresolved)
+            ):
+                # Some owner will never answer: repair immediately,
+                # no straggler timer to wait out.
+                self._launch_repairs(offline=offline)
+            elif self.unresolved:
+                straggler = env.timeout(cfg.straggler_after)
+
+        deadline = env.timeout(cfg.timeout)
+        recheck = None
+
+        while self.unresolved:
+            waits = [p for p in self.pending if not p.processed]
+            if not waits and not self.repairs_launched:
+                self._launch_repairs(offline=offline)
+                waits = [p for p in self.pending if not p.processed]
+            if not waits:
+                self._give_up(set(self.unresolved), "no-path")
+                break
+            if (
+                straggler is not None
+                and not straggler.processed
+                and not self.repairs_launched
+            ):
+                waits.append(straggler)
+            if not deadline.processed:
+                waits.append(deadline)
+            # Liveness recheck: wake periodically so a server crashing
+            # mid-transfer (the share stalls, it never errors) is
+            # noticed long before the deadline.
+            if recheck is None or recheck.processed:
+                recheck = env.timeout(cfg.straggler_after)
+            waits.append(recheck)
+            yield env.any_of(waits)
+            self._absorb()
+            self._resolve()
+            if self.unresolved:
+                offline = self._offline_now()
+                if offline:
+                    self._triage_offline(offline)
+            if (
+                self.unresolved
+                and straggler is not None
+                and straggler.processed
+                and not self.repairs_launched
+            ):
+                self._launch_repairs(offline=offline)
+            if deadline.processed and self.unresolved:
+                self._give_up(set(self.unresolved), "deadline")
+                break
+            self._cancel_useless()
+
+        # Everything still in flight lost the race.
+        self._cancel_useless()
+
+        if self.xor_cpu > 0:
+            host = self.client.network.hosts[self.client.host_name]
+            yield host.compute(self.xor_cpu, label=f"{self.label}:xor")
+        stats.end = env.now
+        return stats
+
+
+DpssClient.requestor_cls = RedundantReadRequestor

@@ -8,6 +8,7 @@ from repro.dpss.blocks import BlockMap, DpssDataset
 from repro.util.validation import check_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import StripeConfig
     from repro.dpss.server import DpssServer
     from repro.netsim.host import Host
 
@@ -67,8 +68,16 @@ class DpssMaster:
         servers: Optional[List[str]] = None,
         allowed_clients: Optional[List[str]] = None,
         replicas: int = 1,
+        stripe: Optional["StripeConfig"] = None,
     ) -> BlockMap:
-        """Stripe a dataset across servers (all of them by default)."""
+        """Stripe a dataset across servers (all of them by default).
+
+        With ``stripe`` enabled the dataset is laid out by a RAID-5
+        :class:`~repro.dpss.stripe.StripeMap` over the first
+        ``stripe.width`` servers (parity replaces replication, so
+        ``replicas`` must stay 1); otherwise the historical
+        round-robin striping applies.
+        """
         if dataset.name in self._maps:
             raise ValueError(f"dataset {dataset.name!r} already registered")
         if servers is None:
@@ -78,7 +87,28 @@ class DpssMaster:
         for name in servers:
             if name not in self.servers:
                 raise KeyError(f"unknown server {name!r}")
-        block_map = BlockMap(dataset, servers, replicas=replicas)
+        stripe_map = None
+        if stripe is not None and stripe.enabled:
+            from repro.dpss.stripe import StripeMap
+
+            if len(servers) < stripe.width:
+                raise ValueError(
+                    f"stripe width {stripe.width} needs at least "
+                    f"{stripe.width} servers, have {len(servers)}"
+                )
+            if replicas != 1:
+                raise ValueError(
+                    "parity striping replaces replication; replicas "
+                    f"must be 1, got {replicas}"
+                )
+            servers = servers[: stripe.width]
+            stripe_map = StripeMap(
+                dataset, servers,
+                n_data=stripe.n_data, n_parity=stripe.n_parity,
+            )
+        block_map = BlockMap(
+            dataset, servers, replicas=replicas, stripe=stripe_map
+        )
         self._maps[dataset.name] = block_map
         if allowed_clients is not None:
             self._acl[dataset.name] = set(allowed_clients)

@@ -21,7 +21,7 @@ plan with no events changes nothing at all.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.netlogger.events import Tags
@@ -76,6 +76,11 @@ class FaultInjector:
         self._proc: Optional["Process"] = None
         self.injected = 0
         self.cleared = 0
+        #: ``(action, kind, target)`` callbacks fired on every
+        #: transition; the health tracker subscribes here so crash and
+        #: flap observations bias subsequent redundant reads. Empty by
+        #: default -- attaching nothing changes nothing.
+        self.observers: List[Callable[[str, str, str], None]] = []
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> Optional["Process"]:
@@ -135,6 +140,7 @@ class FaultInjector:
             )
         self.injected += 1
         self.logger.log(Tags.FAULT_INJECT, **data)
+        self._notify("inject", kind, data)
 
     def _clear(self, i: int, ev: FaultEvent) -> None:
         kind = ev.kind
@@ -160,6 +166,14 @@ class FaultInjector:
             data["target"] = self._require_master().name
         self.cleared += 1
         self.logger.log(Tags.FAULT_CLEAR, **data)
+        self._notify("clear", kind, data)
+
+    def _notify(self, action: str, kind: str, data: Dict[str, object]) -> None:
+        target = data.get("target")
+        if target is None:
+            return
+        for observer in self.observers:
+            observer(action, kind, str(target))
 
     # -- capacity bookkeeping ------------------------------------------
     def _scale(self, i: int, resource: "FluidResource", factor: float) -> None:

@@ -107,6 +107,19 @@ class Tags:
     TILE_RECV_END = "TILE_RECV_END"
     TILE_FRAME_END = "TILE_FRAME_END"
 
+    # -- parity-striped DPSS (repro.dpss.stripe): redundant k-of-n
+    # reads that reconstruct a slow server's blocks from parity
+    # instead of retrying, plus the health model that biases which
+    # servers get the initial reads --------------------------------
+    STRIPE_READ = "STRIPE_READ"
+    STRIPE_REPAIR = "STRIPE_REPAIR"
+    STRIPE_RECONSTRUCT = "STRIPE_RECONSTRUCT"
+    STRIPE_CANCEL = "STRIPE_CANCEL"
+    STRIPE_GIVEUP = "STRIPE_GIVEUP"
+    STRIPE_WRITE = "STRIPE_WRITE"
+    HEALTH_FAULT = "HEALTH_FAULT"
+    HEALTH_AVOID = "HEALTH_AVOID"
+
     # -- fluid allocator counters (opt-in via --alloc-stats): sampled
     # re-solve batches plus an end-of-run summary, so NLV can show the
     # allocator's cost alongside the experiment it paid for ------------
@@ -118,7 +131,7 @@ class Tags:
 #: that every declared tag and every literal event name matches.
 TAG_PREFIXES = (
     "BE_", "V_", "DPSS_", "PIPE_", "SAN_", "FAULT_", "RETRY_",
-    "SVC_", "CACHE_", "TILE_", "ALLOC_",
+    "SVC_", "CACHE_", "TILE_", "ALLOC_", "STRIPE_", "HEALTH_",
 )
 
 
@@ -182,6 +195,20 @@ TILE_TAGS = (
     Tags.TILE_RECV,
     Tags.TILE_RECV_END,
     Tags.TILE_FRAME_END,
+)
+
+STRIPE_TAGS = (
+    Tags.STRIPE_READ,
+    Tags.STRIPE_REPAIR,
+    Tags.STRIPE_RECONSTRUCT,
+    Tags.STRIPE_CANCEL,
+    Tags.STRIPE_GIVEUP,
+    Tags.STRIPE_WRITE,
+)
+
+HEALTH_TAGS = (
+    Tags.HEALTH_FAULT,
+    Tags.HEALTH_AVOID,
 )
 
 ALLOC_TAGS = (

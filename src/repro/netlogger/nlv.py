@@ -18,7 +18,9 @@ from repro.netlogger.events import (
     ALLOC_TAGS,
     BACKEND_TAGS,
     CACHE_TAGS,
+    HEALTH_TAGS,
     SERVICE_TAGS,
+    STRIPE_TAGS,
     TILE_TAGS,
     VIEWER_TAGS,
 )
@@ -47,13 +49,16 @@ def lifeline_plot(
         # lanes span backend-to-viewer, so they sit between the viewer
         # and cache groups rather than being dropped as unknown tags.
         # Allocator-cost lanes sit at the bottom, under the data path
-        # whose events they account for.
+        # whose events they account for; stripe/health lanes sit just
+        # above them, at the DPSS end of the pipeline.
         lanes = (
             SERVICE_TAGS[::-1]
             + CACHE_TAGS[::-1]
             + TILE_TAGS[::-1]
             + VIEWER_TAGS[::-1]
             + BACKEND_TAGS[::-1]
+            + STRIPE_TAGS[::-1]
+            + HEALTH_TAGS[::-1]
             + ALLOC_TAGS[::-1]
         )
         tags = [t for t in lanes if t in present]

@@ -21,12 +21,14 @@ from repro.protocol.framing import (
     write_message,
 )
 from repro.protocol.messages import (
+    STRIPE_FLAG_PARITY,
     TILE_FLAG_REF,
     TILE_WIRE_OVERHEAD,
     AxisFeedback,
     ConfigMessage,
     HeavyPayload,
     LightPayload,
+    StripePayload,
     TilePayload,
     decode_message,
     encode_message,
@@ -42,7 +44,9 @@ __all__ = [
     "ConfigMessage",
     "HeavyPayload",
     "LightPayload",
+    "StripePayload",
     "TilePayload",
+    "STRIPE_FLAG_PARITY",
     "TILE_FLAG_REF",
     "TILE_WIRE_OVERHEAD",
     "decode_message",

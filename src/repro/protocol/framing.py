@@ -33,6 +33,7 @@ class MsgType(IntEnum):
     # loops terminate on it before decode_message is reached.
     BYE = 5
     TILE = 6
+    STRIPE = 7
 
 
 def write_message(sock, msg_type: MsgType, body: bytes) -> None:

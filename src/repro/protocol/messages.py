@@ -12,18 +12,22 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import TYPE_CHECKING, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.protocol.framing import MAX_BODY, MsgType
 from repro.volren.tiles import TILE_HASH_BYTES, TileGrid
 
+if TYPE_CHECKING:  # pragma: no cover - avoids importing the dpss stack
+    from repro.dpss.stripe import StripeMap
+
 _CONFIG = struct.Struct("!IIIIII")
 _LIGHT = struct.Struct("!IIIIB?6d")
 _HEAVY_HEAD = struct.Struct("!IIIIIII")
 _AXIS = struct.Struct("!IB?")
 _TILE_HEAD = struct.Struct("!IIIIIIIB")
+_STRIPE_HEAD = struct.Struct("!IIHHBI")
 
 
 @dataclass(frozen=True)
@@ -333,6 +337,154 @@ class TilePayload:
         )
 
 
+#: flag bit: the payload is a stripe's *parity* block, not data.
+STRIPE_FLAG_PARITY = 0x01
+
+_STRIPE_FLAGS_KNOWN = STRIPE_FLAG_PARITY
+
+
+@dataclass(frozen=True)
+class StripePayload:
+    """One parity-striped DPSS block (data or parity) on the wire.
+
+    ``block_id`` is the DPSS block id -- data blocks use the dataset's
+    logical id space, parity blocks the ids above it (see
+    :meth:`~repro.dpss.stripe.StripeMap.parity_block_id`).
+    ``stripe_index`` names the stripe the block belongs to and
+    ``n_data``/``n_parity`` the stripe geometry, so a receiver can
+    detect a block routed into the wrong stripe before XOR folds bad
+    bytes into a reconstruction.
+    """
+
+    block_id: int
+    stripe_index: int
+    n_data: int
+    n_parity: int
+    payload: bytes
+    is_parity: bool = False
+
+    def __post_init__(self):
+        for name in ("block_id", "stripe_index"):
+            val = getattr(self, name)
+            if not 0 <= val <= 0xFFFFFFFF:
+                raise ValueError(f"{name} must fit in uint32, got {val}")
+        if not 2 <= self.n_data <= 0xFFFF:
+            raise ValueError(
+                f"n_data must be a uint16 >= 2, got {self.n_data}"
+            )
+        if self.n_parity != 1:
+            raise ValueError(
+                f"XOR stripes carry exactly 1 parity block, got "
+                f"n_parity={self.n_parity}"
+            )
+        if not self.payload:
+            raise ValueError("stripe block payload must be non-empty")
+        if len(self.payload) > 0xFFFFFFFF:
+            raise ValueError(
+                f"payload of {len(self.payload)} bytes overflows the "
+                f"uint32 length field"
+            )
+        if not self.is_parity and self.block_id // self.n_data != (
+            self.stripe_index
+        ):
+            raise ValueError(
+                f"data block {self.block_id} belongs to stripe "
+                f"{self.block_id // self.n_data}, not {self.stripe_index}"
+            )
+
+    def encode(self) -> bytes:
+        flags = STRIPE_FLAG_PARITY if self.is_parity else 0
+        head = _STRIPE_HEAD.pack(
+            self.block_id,
+            self.stripe_index,
+            self.n_data,
+            self.n_parity,
+            flags,
+            len(self.payload),
+        )
+        return head + self.payload
+
+    @classmethod
+    def decode(
+        cls, body: bytes, *, stripe_map: Optional["StripeMap"] = None
+    ) -> "StripePayload":
+        head_size = _STRIPE_HEAD.size
+        block_id, stripe, n_data, n_parity, flags, length = (
+            _STRIPE_HEAD.unpack(body[:head_size])
+        )
+        if flags & ~_STRIPE_FLAGS_KNOWN:
+            raise ValueError(f"unknown stripe flags 0x{flags:02x}")
+        if n_data < 2:
+            raise ValueError(f"n_data must be >= 2, got {n_data}")
+        if n_parity != 1:
+            raise ValueError(
+                f"XOR stripes carry exactly 1 parity block, got "
+                f"n_parity={n_parity}"
+            )
+        if length < 1:
+            raise ValueError("stripe block payload must be non-empty")
+        is_parity = bool(flags & STRIPE_FLAG_PARITY)
+        if not is_parity and block_id // n_data != stripe:
+            raise ValueError(
+                f"data block {block_id} belongs to stripe "
+                f"{block_id // n_data}, not {stripe}"
+            )
+        # Size the body in Python-int arithmetic before slicing,
+        # mirroring the HeavyPayload/TilePayload hardening.
+        need = head_size + length
+        if need > MAX_BODY:
+            raise ValueError(
+                f"stripe payload header promises {need} bytes, over the "
+                f"{MAX_BODY}-byte frame limit"
+            )
+        if len(body) < need:
+            raise ValueError(
+                f"stripe payload truncated: header promises {need} "
+                f"bytes, got {len(body)}"
+            )
+        if stripe_map is not None:
+            if (n_data, n_parity) != (
+                stripe_map.n_data, stripe_map.n_parity
+            ):
+                raise ValueError(
+                    f"stripe geometry {n_data}+{n_parity} does not match "
+                    f"the map's {stripe_map.n_data}+{stripe_map.n_parity}"
+                )
+            if stripe >= stripe_map.n_stripes:
+                raise ValueError(
+                    f"stripe_index {stripe} out of range "
+                    f"[0, {stripe_map.n_stripes})"
+                )
+            if is_parity:
+                expect = stripe_map.parity_block_id(stripe)
+                if block_id != expect:
+                    raise ValueError(
+                        f"parity block id {block_id} is not stripe "
+                        f"{stripe}'s parity id {expect}"
+                    )
+                expect_len = int(stripe_map.parity_bytes(stripe))
+            else:
+                if block_id >= stripe_map.dataset.n_blocks:
+                    raise ValueError(
+                        f"data block {block_id} out of dataset range "
+                        f"[0, {stripe_map.dataset.n_blocks})"
+                    )
+                expect_len = int(stripe_map.block_bytes(block_id))
+            if length != expect_len:
+                raise ValueError(
+                    f"block {block_id} carries {length} bytes, the map "
+                    f"says {expect_len}"
+                )
+        return cls(
+            block_id=block_id,
+            stripe_index=stripe,
+            n_data=n_data,
+            n_parity=n_parity,
+            payload=bytes(body[head_size:need]),
+            is_parity=is_parity,
+        )
+
+
 @dataclass(frozen=True)
 class AxisFeedback:
     """Viewer -> back end: the best view axis for upcoming frames."""
@@ -351,7 +503,8 @@ class AxisFeedback:
 
 
 Message = Union[
-    ConfigMessage, LightPayload, HeavyPayload, TilePayload, AxisFeedback
+    ConfigMessage, LightPayload, HeavyPayload, TilePayload, StripePayload,
+    AxisFeedback,
 ]
 
 _TYPE_OF = {
@@ -359,6 +512,7 @@ _TYPE_OF = {
     LightPayload: MsgType.LIGHT,
     HeavyPayload: MsgType.HEAVY,
     TilePayload: MsgType.TILE,
+    StripePayload: MsgType.STRIPE,
     AxisFeedback: MsgType.AXIS_FEEDBACK,
 }
 _CLASS_OF = {v: k for k, v in _TYPE_OF.items()}

@@ -34,6 +34,7 @@ from repro.config import (
     BackendConfig,
     NetworkConfig,
     SiteSpec,
+    StripeConfig,
     TileConfig,
     TopologyConfig,
     warn_deprecated_kwarg,
@@ -233,7 +234,19 @@ class SessionManager:
             Host("dpss-master", nic_rate=mbps(100.0))
         )
         self.master = DpssMaster(master_host)
-        for i in range(DPSS_N_SERVERS):
+        stripe = (
+            base.stripe
+            if base.stripe is not None and base.stripe.enabled
+            else None
+        )
+        self._stripe = stripe
+        n_servers = (
+            max(DPSS_N_SERVERS, stripe.width)
+            if stripe is not None
+            else DPSS_N_SERVERS
+        )
+        self._n_servers = n_servers
+        for i in range(n_servers):
             h = net.add_host(Host(f"dpss{i}", nic_rate=DPSS_SERVER_NIC))
             server = DpssServer(
                 h,
@@ -281,7 +294,7 @@ class SessionManager:
         self._pe_host_names = sorted({h.name for h in self.pe_hosts})
         for host in self._pe_host_names:
             net.add_route("dpss-master", host, [self.dpss_lan, self.wan])
-            for i in range(DPSS_N_SERVERS):
+            for i in range(n_servers):
                 net.add_route(
                     f"dpss{i}", host, [self.dpss_lan, self.wan]
                 )
@@ -294,8 +307,28 @@ class SessionManager:
                 size=float(self.meta.total_bytes),
                 block_size=64 * KIB,
             ),
-            replicas=2 if self._active_faults is not None else 1,
+            # Parity is the failover when striped; replicas otherwise.
+            replicas=(
+                2
+                if self._active_faults is not None and stripe is None
+                else 1
+            ),
+            stripe=stripe,
         )
+        self.health = None
+        if stripe is not None:
+            from repro.dpss.health import HealthTracker
+
+            self.health = HealthTracker(
+                now=lambda: net.env.now,
+                half_life=stripe.health_half_life,
+                logger=NetLogger(
+                    "dpss-client",
+                    "health",
+                    clock=lambda: net.env.now,
+                    daemon=self.daemon,
+                ),
+            )
         self._policy: Optional[RequestPolicy] = base.policy
         if self._policy is None and self._active_faults is not None:
             self._policy = RequestPolicy()
@@ -307,6 +340,11 @@ class SessionManager:
                 daemon=self.daemon,
                 link_aliases={"wan": base.wan.name},
             )
+            # Only the striped path feeds health; the observer hook is
+            # left unattached otherwise so unstriped runs keep their
+            # historical ULM stream byte-for-byte.
+            if self.health is not None:
+                injector.observers.append(self.health.observe_fault)
             injector.start()
             net.fault_injector = injector
 
@@ -397,11 +435,17 @@ class SessionManager:
                     tcp=TcpParams(max_window=base.wan.tcp_window),
                     policy=self._policy,
                     reserved_rate=reserved,
+                    stripe=(
+                        self._stripe
+                        if self._stripe is not None
+                        else StripeConfig()
+                    ),
                 ),
                 tiles=tiles,
             ),
             render_cache=self.cache,
             session=f"s{sid}",
+            health=self.health,
         )
         self.viewers.append(viewer)
         self.backends.append(backend)
@@ -655,6 +699,32 @@ def _reduce(
         tiles_ref=sum(b.timing.tiles_ref for b in manager.backends),
         tile_bytes_saved=sum(
             b.timing.tile_bytes_saved for b in manager.backends
+        ),
+        hedges_abandoned=sum(
+            b.timing.hedges_abandoned for b in manager.backends
+        ),
+        reconstructions=sum(
+            b.timing.reconstructions for b in manager.backends
+        ),
+        parity_bytes=sum(
+            b.timing.parity_bytes for b in manager.backends
+        ),
+        stripe_cancels=sum(
+            b.timing.stripe_cancels for b in manager.backends
+        ),
+        read_p99=(
+            float(
+                np.percentile(
+                    [
+                        s
+                        for b in manager.backends
+                        for s in b.timing.read_seconds
+                    ],
+                    99,
+                )
+            )
+            if any(b.timing.read_seconds for b in manager.backends)
+            else 0.0
         ),
         service=metrics,
         sessions=list(manager.records),

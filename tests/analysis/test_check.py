@@ -167,6 +167,38 @@ def test_new_msgtype_without_decoder_is_one_new_finding(tmp_path):
     assert finding.line > 0
 
 
+def test_stripe_msgtype_is_dispatched():
+    """MsgType.STRIPE has a live registry branch: no VIS213 in the
+    shipped protocol package."""
+    result = run_check(
+        [str(SRC_REPRO / "protocol")], baseline=str(BASELINE)
+    )
+    assert not any(
+        f.code == "VIS213" and "STRIPE" in f.message
+        for f in result.findings
+    ), result.summary()
+
+
+def test_unregistering_stripe_payload_is_one_new_finding(tmp_path):
+    """Dropping StripePayload from _TYPE_OF makes MsgType.STRIPE an
+    orphaned wire type and VIS213 must say so by name."""
+    proto = tmp_path / "repro" / "protocol"
+    proto.mkdir(parents=True)
+    for name in ("framing.py", "messages.py"):
+        shutil.copy(SRC_REPRO / "protocol" / name, proto / name)
+    messages = proto / "messages.py"
+    messages.write_text(
+        messages.read_text().replace(
+            "    StripePayload: MsgType.STRIPE,\n", ""
+        )
+    )
+    result = run_check([str(proto)], baseline=str(BASELINE))
+    assert [f.code for f in result.new_findings] == ["VIS213"]
+    finding = result.new_findings[0]
+    assert "MsgType.STRIPE" in finding.message
+    assert finding.path.endswith("framing.py")
+
+
 # -- baseline mechanics ------------------------------------------------
 
 

@@ -153,6 +153,7 @@ class TestCampaignRegistry:
             "lan_e4500",
             "nton_cplant4",
             "nton_cplant8",
+            "sc99-flaky",
             "sc99-multiviewer",
             "sc99-serve10k",
             "sc99_cosmology",

@@ -5,9 +5,15 @@ using the subsystem at all, and the same (plan, seed) pair replays a
 byte-identical event stream.
 """
 
+from repro.config import StripeConfig
 from repro.core import run_campaign
 from repro.core.campaign import named_campaign
-from repro.faults import FaultPlan, RequestPolicy, ServerCrash
+from repro.faults import (
+    FaultPlan,
+    RequestPolicy,
+    ServerCrash,
+    ServerSlowdown,
+)
 
 
 def tiny_campaign(**changes):
@@ -92,6 +98,86 @@ class TestFaultedRunQuality:
         assert any(e.startswith("RETRY_") for e in events)
         assert result.recovery_seconds > 0
         assert "degraded" in result.summary()
+
+
+class TestHedgeAccounting:
+    """An abandoned hedge is not a retry.
+
+    When the per-attempt deadline tears down a primary *and* its
+    still-in-flight hedge, the relaunch replaces the abandoned hedge;
+    counting it as a retry double-books the same recovery action. The
+    all-servers-slow drill below drives every attempt into exactly
+    that state, so the corrected counts are pinned exactly.
+    """
+
+    ALL_SLOW = FaultPlan.of([
+        ServerSlowdown(at=0.1, duration=8.0, server=f"dpss{i}",
+                       factor=0.01)
+        for i in range(4)
+    ])
+
+    def test_abandoned_hedges_do_not_inflate_retries(self):
+        result = run_campaign(
+            tiny_campaign(
+                faults=self.ALL_SLOW, policy=RequestPolicy.aggressive()
+            )
+        )
+        assert (
+            result.retries,
+            result.hedges,
+            result.hedges_abandoned,
+        ) == (0, 96, 96)
+        # the run still recovers once the slowdown clears
+        assert result.viewer_frames_complete == 3
+        assert result.degraded_frames == 0
+        events = {e.event for e in result.event_log.events}
+        assert "RETRY_HEDGE" in events
+
+    def test_won_hedges_are_not_abandoned(self):
+        """A hedge that wins (or loses to its primary) before the
+        deadline is a plain hedge; only deadline teardowns count."""
+        plan = FaultPlan.of([
+            ServerSlowdown(at=0.1, duration=30.0, server="dpss2",
+                           factor=0.01)
+        ])
+        result = run_campaign(
+            tiny_campaign(faults=plan, policy=RequestPolicy.aggressive())
+        )
+        assert (
+            result.retries,
+            result.hedges,
+            result.hedges_abandoned,
+        ) == (0, 24, 0)
+
+
+class TestStripeParity:
+    """Striping must be invisible until it is switched on."""
+
+    def test_disabled_stripe_config_is_byte_identical(self, tmp_path):
+        _, baseline = run_ulm(tmp_path, "nostripe", tiny_campaign())
+        _, disabled = run_ulm(
+            tmp_path, "disabled",
+            tiny_campaign(stripe=StripeConfig(enabled=False)),
+        )
+        assert disabled == baseline
+
+    def test_striped_empty_plan_delivers_identical_bytes(self):
+        unstriped = run_campaign(tiny_campaign())
+        striped = run_campaign(
+            tiny_campaign(stripe=StripeConfig.from_spec("4+1"))
+        )
+        assert (
+            striped.dpss_to_backend_bytes
+            == unstriped.dpss_to_backend_bytes
+        )
+        assert (
+            striped.viewer_frames_complete
+            == unstriped.viewer_frames_complete
+        )
+        # hedged-repair striping is quiescent on a healthy world
+        assert striped.retries == 0
+        assert striped.reconstructions == 0
+        assert striped.degraded_frames == 0
 
 
 class TestDegradedCompositing:

@@ -90,6 +90,7 @@ def test_api_facade_pinned():
         "FlowClass",
         "FlowClassConfig",
         "FlowClassPool",
+        "HealthTracker",
         "NetworkConfig",
         "RequestPolicy",
         "ServiceCampaign",
@@ -103,11 +104,14 @@ def test_api_facade_pinned():
         "SiteLink",
         "SiteMetrics",
         "SiteSpec",
+        "StripeConfig",
+        "StripeMap",
         "TileConfig",
         "TileGrid",
         "TopologyConfig",
         "ViewerProfile",
         "WorkloadSpec",
+        "XorCodec",
         "build_session",
         "campaign_names",
         "load_drill",
