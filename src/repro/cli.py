@@ -12,6 +12,7 @@ Installed as the ``visapult`` console script::
     visapult bench --quick --check
     visapult bench --suite shard --quick --check
     visapult bench --suite stripe --quick --check
+    visapult bench --suite kernels --quick --check
     visapult lint
     visapult check src/repro --json CHECK_findings.json
     visapult iperf --wan esnet --streams 8
@@ -289,6 +290,11 @@ def cmd_bench(args) -> int:
 
         results = suite_mod.run_suite(quick=args.quick)
         default_baseline = "benchmarks/perf/baseline_stripe.json"
+    elif args.suite == "kernels":
+        from repro.core import bench_kernels as suite_mod  # type: ignore[no-redef]
+
+        results = suite_mod.run_suite(quick=args.quick)
+        default_baseline = "benchmarks/perf/baseline_kernels.json"
     else:
         from repro.core import bench as suite_mod  # type: ignore[no-redef]
 
@@ -530,13 +536,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark suites"
     )
     p.add_argument("--suite", choices=["fluid", "render", "shard",
-                                       "stripe"],
+                                       "stripe", "kernels"],
                    default="fluid",
                    help="fluid: allocator speedups; render: tile wire "
                         "savings + compositing + orbit cache; shard: "
                         "flow-class aggregation vs per-session flows; "
                         "stripe: parity-read overhead + flaky-drill "
-                        "p99 read latency vs the fault-free baseline")
+                        "p99 read latency vs the fault-free baseline; "
+                        "kernels: vectorized raycast/raster/fairshare "
+                        "vs scalar oracles + calendar-vs-heap events")
     p.add_argument("--quick", action="store_true",
                    help="small workloads (CI-sized; scaled e2e campaign)")
     p.add_argument("--no-e2e", action="store_true",

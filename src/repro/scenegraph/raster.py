@@ -5,6 +5,17 @@ into a premultiplied RGBA framebuffer. Semi-transparent textured quads
 are depth-sorted and painted back-to-front (exactly how the IBRAVR
 viewer composites slab textures on graphics hardware); line sets draw
 on top, as the AMR grid overlay does.
+
+Two engines share one setup stage (traversal, a single batched
+projection of every triangle vertex and line endpoint, the painter's
+depth sort): the default ``vectorized=True`` evaluates edge functions
+and barycentric interpolation as array ops over each triangle's
+bounding-box pixel grid, while ``vectorized=False`` is the pinned
+per-pixel reference walk.  They are bitwise identical because both
+apply the same float64 edge/barycentric expressions and the same
+float32 texture/blend operations per pixel — the grid just evaluates
+them for all pixels at once — and each triangle touches a pixel at most
+once, so within-triangle ordering cannot matter.
 """
 
 from __future__ import annotations
@@ -26,59 +37,83 @@ def render(
     height: int = 256,
     *,
     background=(0.0, 0.0, 0.0, 0.0),
+    vectorized: bool = True,
 ) -> np.ndarray:
-    """Rasterize ``scene`` into an (H, W, 4) premultiplied RGBA image."""
+    """Rasterize ``scene`` into an (H, W, 4) premultiplied RGBA image.
+
+    ``vectorized=False`` selects the per-pixel reference rasterizer
+    (bitwise identical to the default grid engine, far slower).
+    """
     if width < 1 or height < 1:
         raise ValueError("viewport must be at least 1x1")
     frame = np.empty((height, width, 4), dtype=np.float32)
     frame[...] = np.asarray(background, dtype=np.float32)
 
-    tris: List[Tuple[float, np.ndarray, np.ndarray, Texture2D]] = []
+    worlds: List[np.ndarray] = []
+    uv_list: List[np.ndarray] = []
+    textures: List[Texture2D] = []
     lines: List[Tuple[np.ndarray, np.ndarray]] = []
 
     for node, matrix in scene.traverse():
         if isinstance(node, (TexturedQuad, QuadMesh)):
             for verts, uvs in node.triangles():
-                world = transform_points(matrix, verts)
-                depth = float(np.mean(camera.view_depth(world)))
-                tris.append((depth, world, uvs, node.texture))
+                worlds.append(transform_points(matrix, verts))
+                uv_list.append(uvs)
+                textures.append(node.texture)
         elif isinstance(node, LineSet) and node.n_segments:
             pts = node.segments.reshape(-1, 3)
             world = transform_points(matrix, pts).reshape(-1, 2, 3)
             lines.append((world, node.color))
 
-    # Painter's algorithm: farthest first so nearer quads blend over.
-    tris.sort(key=lambda t: -t[0])
-    for _, world, uvs, texture in tris:
-        _raster_triangle(frame, camera, world, uvs, texture)
+    if worlds:
+        # One projection call for every vertex: both engines must see
+        # identical screen coordinates (batched matvecs are not
+        # guaranteed bit-stable across batch sizes, so per-triangle
+        # calls could not serve as a shared reference).
+        flat = np.concatenate(worlds, axis=0)
+        projs = camera.project(flat, width, height).reshape(-1, 3, 3)
+        depths = camera.view_depth(flat).reshape(-1, 3).mean(axis=1)
+        # Painter's algorithm: farthest first so nearer quads blend over.
+        order = np.argsort(-depths, kind="stable")
+        raster_tri = _raster_triangle if vectorized else _raster_triangle_scalar
+        for i in order:
+            raster_tri(frame, projs[i], uv_list[i], textures[i])
 
     for world_segments, color in lines:
-        _raster_lines(frame, camera, world_segments, color)
+        endpoints = camera.project(
+            world_segments.reshape(-1, 3), width, height
+        )[:, :2].reshape(-1, 2, 2)
+        _raster_lines(frame, endpoints, color)
 
     return frame
 
 
-def _raster_triangle(
-    frame: np.ndarray,
-    camera: Camera,
-    world: np.ndarray,
-    uvs: np.ndarray,
-    texture: Texture2D,
-) -> None:
-    height, width = frame.shape[:2]
-    proj = camera.project(world, width, height)
+def _triangle_bbox(
+    proj: np.ndarray, width: int, height: int
+) -> Tuple[float, int, int, int, int]:
+    """Signed area and clipped integer bounding box shared by both engines."""
     p0, p1, p2 = proj[:, :2]
-
     area = _edge(p0, p1, p2)
-    if abs(area) < 1e-12:
-        return  # degenerate in screen space
-
     lo_x = max(int(np.floor(min(p0[0], p1[0], p2[0]))), 0)
     hi_x = min(int(np.ceil(max(p0[0], p1[0], p2[0]))) + 1, width)
     lo_y = max(int(np.floor(min(p0[1], p1[1], p2[1]))), 0)
     hi_y = min(int(np.ceil(max(p0[1], p1[1], p2[1]))) + 1, height)
+    return area, lo_x, hi_x, lo_y, hi_y
+
+
+def _raster_triangle(
+    frame: np.ndarray,
+    proj: np.ndarray,
+    uvs: np.ndarray,
+    texture: Texture2D,
+) -> None:
+    height, width = frame.shape[:2]
+    area, lo_x, hi_x, lo_y, hi_y = _triangle_bbox(proj, width, height)
+    if abs(area) < 1e-12:
+        return  # degenerate in screen space
     if lo_x >= hi_x or lo_y >= hi_y:
         return
+    p0, p1, p2 = proj[:, :2]
 
     xs = np.arange(lo_x, hi_x) + 0.5
     ys = np.arange(lo_y, hi_y) + 0.5
@@ -105,18 +140,46 @@ def _raster_triangle(
     region[inside] = texels + dest * (1.0 - alpha)
 
 
+def _raster_triangle_scalar(
+    frame: np.ndarray,
+    proj: np.ndarray,
+    uvs: np.ndarray,
+    texture: Texture2D,
+) -> None:
+    """Per-pixel reference rasterizer (the pinned oracle)."""
+    height, width = frame.shape[:2]
+    area, lo_x, hi_x, lo_y, hi_y = _triangle_bbox(proj, width, height)
+    if abs(area) < 1e-12:
+        return
+    if lo_x >= hi_x or lo_y >= hi_y:
+        return
+    p0, p1, p2 = proj[:, :2]
+
+    for y in range(lo_y, hi_y):
+        for x in range(lo_x, hi_x):
+            pt = np.array([x + 0.5, y + 0.5])
+            w0 = _edge_grid(p1, p2, pt) / area
+            w1 = _edge_grid(p2, p0, pt) / area
+            w2 = _edge_grid(p0, p1, pt) / area
+            if not (w0 >= 0 and w1 >= 0 and w2 >= 0):
+                continue
+            u = w0 * uvs[0, 0] + w1 * uvs[1, 0] + w2 * uvs[2, 0]
+            v = w0 * uvs[0, 1] + w1 * uvs[1, 1] + w2 * uvs[2, 1]
+            texel = texture.sample(np.array([u]), np.array([v]))[0]
+            dest = frame[y, x]
+            alpha = texel[3:4]
+            frame[y, x] = texel + dest * (1.0 - alpha)
+
+
 def _raster_lines(
     frame: np.ndarray,
-    camera: Camera,
-    segments: np.ndarray,
+    endpoints: np.ndarray,
     color: np.ndarray,
 ) -> None:
     height, width = frame.shape[:2]
     pre = color.astype(np.float32).copy()
     pre[:3] *= pre[3]
-    for a, b in segments:
-        pa = camera.project(a[None, :], width, height)[0, :2]
-        pb = camera.project(b[None, :], width, height)[0, :2]
+    for pa, pb in endpoints:
         length = float(np.hypot(*(pb - pa)))
         n = max(int(np.ceil(length)) * 2, 2)
         ts = np.linspace(0.0, 1.0, n)

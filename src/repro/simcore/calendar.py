@@ -1,0 +1,456 @@
+"""Calendar-queue event engine for the simulation kernel.
+
+A classic Brown-style calendar queue, specialised for the access
+pattern of a discrete-event simulator: *pops are monotone in time*
+(``Environment._schedule`` always enqueues at ``now + delay`` with
+``delay >= 0``), so the dequeue side never has to search backwards.
+Entries are the same ``(time, priority, counter, event)`` tuples the
+heapq engine uses, and the queue yields them in exactly the same total
+order — time, then priority, then insertion counter — which is what
+lets :mod:`repro.simcore.env` treat the two engines as interchangeable
+oracles.
+
+Layout
+------
+* ``_buckets``: dict mapping bucket index ``int((t - origin) / width)``
+  to an unsorted list of entries.  The mapping is monotone in ``t``, so
+  bucket order is time order and same-time entries always share a
+  bucket.
+* ``_cur``: scan pointer.  All entries live in buckets ``>= _cur``;
+  late same-tick inserts aimed below it are rerouted to ``_cur`` (they
+  are necessarily the global minimum, see ``push``).
+* the *current* bucket is sorted once when the scan reaches it and then
+  drained by position (``_pos``); inserts that land in it while it
+  drains use ``bisect.insort(..., lo=_pos)`` to stay ordered.
+* ``_far``: a heap holding entries more than ``horizon`` buckets ahead
+  of the scan pointer.  Because the bucket mapping is monotone, the
+  heap head is also the minimum-bucket far entry; ``_advance`` re-seats
+  far entries into buckets before the scan pointer may pass them.
+* ``+inf`` timestamps never leave ``_far`` (they have no bucket); they
+  drain straight from the heap once everything finite is gone.
+
+The bucket width adapts on three triggers, all with strong hysteresis
+(a rebuild is O(n), so width only moves when it is at least
+``_HYSTERESIS``-times off target, and then it ratio-jumps straight to the
+measured target instead of creeping by factors of two):
+
+* *load-time*: pushes track the min/max timestamp seen; when the queue
+  size crosses geometric thresholds the width is compared against
+  ``span / len * _LOAD_FAT`` and fixed while the structure is still
+  small (total amortized cost <= 2n appends, and a bulk load lands on
+  a sane width before the first pop);
+* *drain-time*: every ``_RESIZE_INTERVAL`` drained entries the queue
+  compares mean entries per drained bucket (*fat*) against mean
+  empty-bucket scan steps and jumps whichever dominates, then clamps
+  the proposal into ``[delay/64, delay/8]`` where *delay* is the mean
+  observed reschedule distance (pushed time minus last popped time).
+  The clamp is what makes adaptation terminate: a hold-pattern front is
+  exponentially dense, so density metrics alone would shrink the width
+  forever, one O(n) rebuild at a time.  Shrinks are additionally gated
+  on having observed a nonzero time spread inside a bucket (a flood of
+  same-timestamp entries cannot be subdivided, so shrinking would only
+  thrash);
+* *insert-time*: a draining bucket growing past ``_FAT_BUCKET`` pending
+  entries triggers an immediate shrink, bounding the ``insort`` cost of
+  inserts into the draining bucket.
+
+The targets are deliberately *thin* (under one entry per bucket at
+load): stepping over an empty bucket is one failed dict probe, while a
+fat bucket pays an O(k log k) sort and O(k) ``insort`` memmoves for
+inserts that land in it mid-drain — empty is the cheap direction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from math import inf, isfinite
+from typing import Any, Dict, List, Optional, Tuple
+
+#: entry layout shared with the heapq engine: (time, priority, counter, event)
+Entry = Tuple[float, int, int, Any]
+
+_DEFAULT_WIDTH = 1.0
+_DEFAULT_HORIZON = 4096
+#: drained entries between adaptive-width checks
+_RESIZE_INTERVAL = 512
+#: queue size at which the first load-time width check runs
+_LOAD_CHECK = 4096
+#: immediate shrink when the draining bucket holds this many pending entries
+_FAT_BUCKET = 1024
+#: load-time target entries per bucket (thin: scans are cheaper than sorts)
+_LOAD_FAT = 0.5
+#: adaptive targets: mean entries per drained bucket / mean empty-bucket scans
+_TARGET_FAT = 2.0
+_TARGET_SCAN = 8.0
+#: width only moves when it is at least this factor off target
+_HYSTERESIS = 4.0
+#: largest single-step width change a ratio-jump may apply
+_MAX_JUMP = 65536.0
+#: width band relative to the mean observed reschedule delay: the cap
+#: keeps inserts out of the draining bucket (width well under the mean
+#: delay makes the O(k) ``insort`` path rare), the floor keeps the
+#: horizon window well ahead of where reinserts land (64 buckets per
+#: mean delay).  The band is deliberately narrow so the first
+#: delay-informed rebuild lands inside the stable zone and adaptation
+#: terminates after it.
+_DELAY_CAP = 1.0 / 32.0
+_DELAY_FLOOR = 1.0 / 64.0
+
+
+class CalendarQueue:
+    """Bucketed priority queue with heap-identical ordering semantics."""
+
+    __slots__ = (
+        "_origin",
+        "_width",
+        "_inv",
+        "_horizon",
+        "_cur",
+        "_buckets",
+        "_bucket",
+        "_pos",
+        "_far",
+        "_len",
+        "_t_min",
+        "_t_max",
+        "_t_last",
+        "_dsum",
+        "_dcnt",
+        "_next_load_check",
+        "_next_check",
+        "_drains",
+        "_drained_entries",
+        "_scan_steps",
+        "_spread_seen",
+        "_resizes",
+    )
+
+    def __init__(
+        self,
+        origin: float = 0.0,
+        width: float = _DEFAULT_WIDTH,
+        horizon: int = _DEFAULT_HORIZON,
+    ) -> None:
+        if not (width > 0.0 and isfinite(width)):
+            raise ValueError(f"bucket width must be positive and finite: {width}")
+        if horizon < 2:
+            raise ValueError(f"horizon must be >= 2 buckets: {horizon}")
+        self._origin = float(origin)
+        self._width = float(width)
+        self._inv = 1.0 / self._width
+        self._horizon = int(horizon)
+        self._cur = 0
+        self._buckets: Dict[int, List[Entry]] = {}
+        #: the sorted bucket currently being drained (``_buckets[_cur]``)
+        self._bucket: Optional[List[Entry]] = None
+        self._pos = 0
+        self._far: List[Entry] = []
+        self._len = 0
+        # adaptive-width accounting (reset at every width check)
+        self._t_min = inf
+        self._t_max = -inf
+        # last popped time; nan until the first pop so load-phase pushes
+        # (whose "delay" would be an absolute offset) contribute no samples
+        self._t_last = float("nan")
+        self._dsum = 0.0
+        self._dcnt = 0
+        self._next_load_check = _LOAD_CHECK
+        self._next_check = _RESIZE_INTERVAL
+        self._drains = 0
+        self._drained_entries = 0
+        self._scan_steps = 0
+        self._spread_seen = False
+        self._resizes = 0
+
+    # -- sizing -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len != 0
+
+    @property
+    def width(self) -> float:
+        """Current bucket width in simulated seconds."""
+        return self._width
+
+    @property
+    def resizes(self) -> int:
+        """Number of adaptive rebuilds performed (diagnostic)."""
+        return self._resizes
+
+    # -- queue API --------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        """Insert ``entry``; ordering key is the (time, prio, counter) prefix."""
+        t = entry[0]
+        if t < self._t_min:
+            self._t_min = t
+        if t > self._t_max:
+            self._t_max = t
+        d = t - self._t_last  # nan before the first pop: sample skipped
+        if d > 0.0:
+            self._dsum += d
+            self._dcnt += 1
+        if self._len + 1 >= self._next_load_check:
+            self._load_check()
+        x = (t - self._origin) * self._inv
+        cur = self._cur
+        self._len += 1
+        if x >= cur + self._horizon:  # far future (or +inf): heap
+            heapq.heappush(self._far, entry)
+            return
+        b = int(x)
+        if b < cur:
+            # Same-tick insert aimed at an already-drained bucket.  Pops
+            # are monotone, so entry.time >= the last popped time, and
+            # every queued entry sits in a bucket >= cur whose time span
+            # starts later: this entry is the global minimum.  Routing
+            # it to the front of bucket ``cur`` preserves total order.
+            b = cur
+        bucket = self._buckets.get(b)
+        if bucket is None:
+            self._buckets[b] = [entry]
+        elif bucket is self._bucket:
+            # keep the draining bucket sorted; never insert before _pos
+            insort(bucket, entry, self._pos)
+            if (
+                len(bucket) - self._pos > _FAT_BUCKET
+                and bucket[-1][0] > bucket[self._pos][0]
+            ):
+                # Hot draining bucket.  Only a width above the delay
+                # band means inserts keep landing here (the frequent-
+                # insort regime); jump straight to the band cap.  At or
+                # below the cap a fat bucket is just a dense front —
+                # inserts rarely hit it, so leave the width alone.
+                if self._dcnt:
+                    mean_d = self._dsum / self._dcnt
+                    if (
+                        mean_d > 0.0
+                        and isfinite(mean_d)
+                        and self._width > mean_d * _DELAY_CAP * _HYSTERESIS
+                    ):
+                        self._resize(mean_d * _DELAY_CAP)
+                else:
+                    self._resize(self._width / 8.0)
+        else:
+            bucket.append(entry)
+
+    def pop(self) -> Entry:
+        """Remove and return the least entry; raises ``IndexError`` if empty."""
+        if self._len == 0:
+            raise IndexError("pop from empty CalendarQueue")
+        self._len -= 1
+        bucket = self._bucket
+        if bucket is None:
+            self._advance()
+            bucket = self._bucket
+            if bucket is None:  # only +inf entries remain, straight off the heap
+                entry = heapq.heappop(self._far)
+                self._t_last = entry[0]
+                return entry
+        entry = bucket[self._pos]
+        self._t_last = entry[0]
+        self._pos += 1
+        if self._pos == len(bucket):
+            del self._buckets[self._cur]
+            self._bucket = None
+            self._pos = 0
+            self._cur += 1
+            self._drains += 1
+            self._drained_entries += len(bucket)
+            if bucket[0][0] < bucket[-1][0]:
+                self._spread_seen = True
+            if self._drained_entries >= self._next_check:
+                self._maybe_resize()
+        return entry
+
+    def peek_time(self) -> float:
+        """Time of the least entry without removing it; ``inf`` if empty."""
+        if self._len == 0:
+            return inf
+        if self._bucket is None:
+            self._advance()
+            if self._bucket is None:
+                return self._far[0][0]
+        return self._bucket[self._pos][0]
+
+    # -- internals --------------------------------------------------------
+    def _advance(self) -> None:
+        """Move the scan pointer to the next nonempty bucket and sort it.
+
+        Leaves ``_bucket is None`` only when every remaining entry has a
+        non-finite timestamp (those stay in the ``_far`` heap).
+        """
+        buckets = self._buckets
+        far = self._far
+        horizon = self._horizon
+        origin = self._origin
+        inv = self._inv
+        while True:
+            cur = self._cur
+            # Re-seat far entries the scan is about to reach.  ``far`` is
+            # time-ordered and the bucket mapping is monotone, so the
+            # head always has the smallest bucket index.
+            while far:
+                x = (far[0][0] - origin) * inv
+                if x >= cur + horizon:
+                    break
+                entry = heapq.heappop(far)
+                b = int(x)
+                if b < cur:
+                    b = cur
+                lst = buckets.get(b)
+                if lst is None:
+                    buckets[b] = [entry]
+                else:
+                    lst.append(entry)
+            if buckets:
+                # Near buckets always sit below cur + horizon (the push
+                # boundary only grows as cur advances), so this scan finds one.
+                limit = cur + horizon
+                while cur < limit:
+                    lst = buckets.get(cur)
+                    if lst is not None:
+                        lst.sort()
+                        self._scan_steps += cur - self._cur
+                        self._cur = cur
+                        self._bucket = lst
+                        self._pos = 0
+                        return
+                    cur += 1
+                self._scan_steps += cur - self._cur
+                self._cur = cur  # pragma: no cover - defensive
+                continue
+            if not far:  # pragma: no cover - len guard in pop/peek prevents this
+                return
+            x = (far[0][0] - origin) * inv
+            if not isfinite(x):
+                return  # only +inf entries left; pop serves them from the heap
+            # Horizon exhausted: jump the scan pointer to the far head.
+            nb = int(x)
+            self._cur = nb if nb > cur else cur
+
+    def _load_check(self) -> None:
+        """Load-time width fix: compare against the observed density.
+
+        Runs when the queue size crosses geometric thresholds, so a
+        bulk load rebuilds while the structure is still small instead
+        of paying one huge O(n) rebuild after the fact (total amortized
+        cost of all load rebuilds is <= 2n appends).
+        """
+        n = self._len
+        self._next_load_check = n * 2
+        if self._dcnt:
+            # Reschedule-delay samples exist, so the drain-time check
+            # owns the width now; a span/len estimate would fight it
+            # (ping-ponging rebuilds between the two signals).
+            return
+        span = self._t_max - self._t_min
+        if not (span > 0.0 and isfinite(span)) or n <= 0:
+            return
+        ideal = span / n * _LOAD_FAT
+        if ideal > self._width * _HYSTERESIS or ideal * _HYSTERESIS < self._width:
+            self._resize(ideal)
+
+    def _maybe_resize(self) -> None:
+        """Drain-time width check: ratio-jump toward the measured density.
+
+        ``fat`` is mean entries per drained bucket, ``scans`` mean empty
+        buckets stepped per drain.  Whichever dominates sets the jump
+        direction, and the ratio to its target sets the magnitude, so
+        one rebuild lands near the right width instead of creeping by
+        factors of two.
+        """
+        drains = self._drains
+        fat = self._drained_entries / drains
+        scans = self._scan_steps / drains
+        width = self._width
+        target = width
+        if fat > _TARGET_FAT * _HYSTERESIS and fat >= scans and self._spread_seen:
+            target = width * max(_TARGET_FAT / fat, 1.0 / _MAX_JUMP)
+        elif scans > _TARGET_SCAN * _HYSTERESIS and scans > fat:
+            target = width * min(scans / _TARGET_SCAN, _MAX_JUMP)
+        if self._dcnt:
+            # Clamp to the reschedule-delay band.  A hold-pattern front
+            # is exponentially dense, so density metrics alone would
+            # shrink the width forever (each rebuild is O(n)); the
+            # delay band is scale-free and stable.
+            mean_d = self._dsum / self._dcnt
+            if mean_d > 0.0 and isfinite(mean_d):
+                lo = mean_d * _DELAY_FLOOR
+                hi = mean_d * _DELAY_CAP
+                if target < lo:
+                    target = lo
+                elif target > hi:
+                    target = hi
+        self._drains = 0
+        self._drained_entries = 0
+        self._scan_steps = 0
+        self._spread_seen = False
+        self._dsum = 0.0
+        self._dcnt = 0
+        if target > width * _HYSTERESIS or target * _HYSTERESIS < width:
+            self._resize(target)
+            self._next_check = max(_RESIZE_INTERVAL, self._len >> 3)
+        else:
+            self._next_check = _RESIZE_INTERVAL
+
+    def _resize(self, new_width: float) -> None:
+        """Rebuild every bucket under ``new_width`` (O(n))."""
+        if not (new_width > 0.0 and isfinite(new_width)):
+            return
+        entries: List[Entry] = []
+        for b, lst in self._buckets.items():
+            if lst is self._bucket:
+                entries.extend(lst[self._pos :])
+            else:
+                entries.extend(lst)
+        entries.extend(self._far)
+        buckets: Dict[int, List[Entry]] = {}
+        self._buckets = buckets
+        far: List[Entry] = []
+        self._far = far
+        self._bucket = None
+        self._pos = 0
+        self._width = new_width
+        inv = 1.0 / new_width
+        self._inv = inv
+        self._resizes += 1
+        origin = self._origin
+        tmin = inf
+        for entry in entries:
+            if entry[0] < tmin:
+                tmin = entry[0]
+        # Anchor the scan pointer at the earliest remaining entry; every
+        # future push is >= the last popped time, hence >= this bucket.
+        cur = int((tmin - origin) * inv) if isfinite(tmin) else 0
+        if cur < 0:
+            cur = 0
+        self._cur = cur
+        # Bulk re-bucket with an inline loop: no adaptive bookkeeping
+        # (re-seated entries are not new information — their distance
+        # from the front must not pollute the delay samples), and the
+        # far heap is built with one O(n) heapify instead of n pushes.
+        limit = cur + self._horizon
+        for entry in entries:
+            x = (entry[0] - origin) * inv
+            if x >= limit:
+                far.append(entry)
+                continue
+            b = int(x)
+            if b < cur:
+                b = cur
+            lst = buckets.get(b)
+            if lst is None:
+                buckets[b] = [entry]
+            else:
+                lst.append(entry)
+        heapq.heapify(far)
+        self._len = len(entries)
+        self._drains = 0
+        self._drained_entries = 0
+        self._scan_steps = 0
+        self._spread_seen = False
+        self._dsum = 0.0
+        self._dcnt = 0

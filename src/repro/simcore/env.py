@@ -4,8 +4,18 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.simcore.calendar import CalendarQueue
 from repro.simcore.events import (
     AllOf,
     AnyOf,
@@ -17,6 +27,16 @@ from repro.simcore.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import SimSanitizer
+
+#: Event-engine used when ``Environment(scheduler=None)``.  ``"heap"`` is
+#: the reference heapq engine (the oracle); ``"calendar"`` selects the
+#: bucketed :class:`repro.simcore.calendar.CalendarQueue`, which yields
+#: the identical (time, priority, counter) total order.  Module-level so
+#: campaigns/tests can flip every internally-created Environment at once
+#: (the same pattern as ``repro.simcore.fluid.DEFAULT_INCREMENTAL``).
+DEFAULT_SCHEDULER = "heap"
+
+_SCHEDULERS = ("heap", "calendar")
 
 
 class EmptySchedule(Exception):
@@ -39,9 +59,23 @@ class Environment:
         assert env.now == 1.0 and proc.value == "done"
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, scheduler: Optional[str] = None):
+        if scheduler is None:
+            scheduler = DEFAULT_SCHEDULER
+        if scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {_SCHEDULERS}"
+            )
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self.scheduler = scheduler
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._calendar: Optional[CalendarQueue] = (
+            CalendarQueue(origin=self._now) if scheduler == "calendar" else None
+        )
+        #: the live queue under either engine (sized, truthy when non-empty)
+        self._queue: Union[List[Tuple[float, int, int, Event]], CalendarQueue] = (
+            self._heap if self._calendar is None else self._calendar
+        )
         self._counter = count()
         self._active_process: Optional[Process] = None
         self._unhandled: List[Tuple[Process, BaseException]] = []
@@ -84,10 +118,11 @@ class Environment:
 
     # -- scheduling (kernel API) -------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._counter), event),
-        )
+        entry = (self._now + delay, priority, next(self._counter), event)
+        if self._calendar is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._calendar.push(entry)
 
     def _crashed(self, process: Process, exc: BaseException) -> None:
         self._unhandled.append((process, exc))
@@ -95,13 +130,18 @@ class Environment:
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._calendar is not None:
+            return self._calendar.peek_time()
+        return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
         if not self._queue:
             raise EmptySchedule()
-        when, _prio, _cnt, event = heapq.heappop(self._queue)
+        if self._calendar is None:
+            when, _prio, _cnt, event = heapq.heappop(self._heap)
+        else:
+            when, _prio, _cnt, event = self._calendar.pop()
         if when < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
         self._now = max(self._now, when)
@@ -110,7 +150,17 @@ class Environment:
             cb(event)
         if self._unhandled:
             process, exc = self._unhandled.pop(0)
+            dropped = tuple(self._unhandled)
             self._unhandled.clear()
+            # Concurrent crashes in the same step must not vanish: attach
+            # the ones we cannot raise to the one we do.
+            exc.sim_concurrent_crashes = dropped  # type: ignore[attr-defined]
+            add_note = getattr(exc, "add_note", None)  # Python >= 3.11
+            if add_note is not None:
+                for proc, other in dropped:
+                    add_note(
+                        f"concurrent unhandled crash in {proc!r}: {other!r}"
+                    )
             raise exc
         if event._ok is False and not event._defused:
             raise event._value

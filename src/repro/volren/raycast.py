@@ -10,11 +10,22 @@ source images "are obtained by volume rendering the slab of data"
 as ground truth when quantifying IBRAVR's off-axis artifacts
 (Figure 6); it resamples the volume with trilinear interpolation along
 view-aligned rays.
+
+Both kernels come in two bitwise-identical flavours (the PR 5 oracle
+pattern): the default ``vectorized=True`` path batches the
+transfer-function evaluation and expresses the front-to-back composite
+through ``cumprod`` transparencies, while ``vectorized=False`` walks
+rays sample-by-sample in Python as the pinned reference.  Parity is
+exact because both paths perform the same float32 elementwise
+operations in the same order: ``cumprod``/repeated in-place adds are
+strict left folds, the transfer function is elementwise (``np.interp``)
+and therefore indifferent to batching, and transparency uses the
+product form ``T_k = prod_{j<k} (1 - alpha_j)`` in both.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.ndimage import map_coordinates
@@ -24,12 +35,36 @@ from repro.volren.transfer import TransferFunction
 #: image-plane axes for each view axis (view along axis -> rows, cols)
 _PLANE_AXES = {0: (1, 2), 1: (0, 2), 2: (0, 1)}
 
+#: early-exit threshold: stop once every ray is this close to opaque
+_OPACITY_CUTOFF = 1e-4
+
+#: transfer-function evaluation chunk, in scalars: big enough to
+#: amortise the call, small enough that the float64 temporaries inside
+#: :class:`TransferFunction` stay cache-resident
+_TF_CHUNK_SCALARS = 1 << 20
+
 
 def _check_volume(volume: np.ndarray) -> np.ndarray:
     volume = np.asarray(volume)
     if volume.ndim != 3:
         raise ValueError(f"volume must be 3-D, got ndim={volume.ndim}")
     return volume
+
+
+def _tf_stack(vol_view: np.ndarray, tf: TransferFunction) -> np.ndarray:
+    """Evaluate ``tf`` over a (slices, H, W) view into a float32 stack.
+
+    Chunked along the slice axis: one giant call would drag ~50 MB of
+    float64 temporaries through the cache for a 128^3 volume, while
+    per-slice calls pay the Python/ufunc overhead n times.  Chunking
+    changes nothing numerically -- the transfer function is elementwise.
+    """
+    n, h, w = vol_view.shape
+    rgba = np.empty((n, h, w, 4), dtype=np.float32)
+    chunk = max(1, _TF_CHUNK_SCALARS // max(h * w, 1))
+    for k in range(0, n, chunk):
+        rgba[k : k + chunk] = tf(vol_view[k : k + chunk])
+    return rgba
 
 
 def render_slab(
@@ -39,6 +74,7 @@ def render_slab(
     axis: int = 0,
     flip: bool = False,
     return_depth: bool = False,
+    vectorized: bool = True,
 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Composite a slab front-to-back along an axis.
 
@@ -49,44 +85,104 @@ def render_slab(
     (section 3.3), else ``None``.
 
     ``flip=True`` views the slab from the negative side of ``axis``.
+    ``vectorized=False`` selects the per-pixel reference composite
+    (bitwise identical, orders of magnitude slower).
     """
     volume = _check_volume(volume)
     if axis not in (0, 1, 2):
         raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
-    n_slices = volume.shape[axis]
-    rows_ax, cols_ax = _PLANE_AXES[axis]
-    out_shape = (volume.shape[rows_ax], volume.shape[cols_ax])
+    vol_view = np.moveaxis(volume, axis, 0)
+    if flip:
+        vol_view = vol_view[::-1]
+    if vectorized:
+        return _render_slab_vectorized(vol_view, tf, return_depth)
+    return _render_slab_scalar(vol_view, tf, return_depth)
+
+
+def _render_slab_vectorized(
+    vol_view: np.ndarray, tf: TransferFunction, return_depth: bool
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    n_slices = vol_view.shape[0]
+    out_shape = vol_view.shape[1:]
+
+    rgba = _tf_stack(vol_view, tf)
+    alpha = rgba[..., 3]
+    # Premultiply in place -- the stack is ours, no defensive copy.
+    rgba[..., :3] *= alpha[..., None]
+
+    # Front-to-back transparency by cumulative product: T_k is the
+    # transparency *before* sample k (ones-prefixed, exclusive cumprod).
+    # multiply.accumulate is a strict left fold, so T matches the
+    # oracle's running ``t *= 1 - a`` bit for bit.
+    t_before = np.empty_like(alpha)
+    t_before[0] = 1.0
+    np.cumprod(1.0 - alpha[:-1], axis=0, out=t_before[1:])
+
+    contrib = rgba
+    contrib *= t_before[..., None]
 
     accum = np.zeros(out_shape + (4,), dtype=np.float32)
     depth_num = np.zeros(out_shape, dtype=np.float32) if return_depth else None
     depth_den = np.zeros(out_shape, dtype=np.float32) if return_depth else None
-
-    order = range(n_slices - 1, -1, -1) if flip else range(n_slices)
-    for position, idx in enumerate(order):
-        sl = [slice(None)] * 3
-        sl[axis] = idx
-        scalars = volume[tuple(sl)]
-        rgba = tf(scalars)
-        # Premultiply, then *front over accum-so-far is wrong*: we walk
-        # front-to-back, so accumulate back slices under the running
-        # front image: accum = accum over slice.
-        alpha = rgba[..., 3:4]
-        pre = rgba.copy()
-        pre[..., :3] *= alpha
-        transparency = 1.0 - accum[..., 3:4]
+    inv_span = 1.0 / max(n_slices - 1, 1)
+    for position in range(n_slices):
+        accum += contrib[position]
         if return_depth:
-            contrib = (transparency[..., 0] * alpha[..., 0]).astype(np.float32)
-            frac = position / max(n_slices - 1, 1)
-            depth_num += contrib * frac
-            depth_den += contrib
-        accum += pre * transparency
+            assert depth_num is not None and depth_den is not None
+            ca = contrib[position, ..., 3]
+            depth_num += ca * (position * inv_span)
+            depth_den += ca
+    return accum, _finish_depth(depth_num, depth_den, out_shape, return_depth)
 
-    depth = None
-    if return_depth:
-        depth = np.zeros(out_shape, dtype=np.float32)
-        hit = depth_den > 1e-12
-        depth[hit] = depth_num[hit] / depth_den[hit]
-    return accum, depth
+
+def _render_slab_scalar(
+    vol_view: np.ndarray, tf: TransferFunction, return_depth: bool
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-pixel reference composite (the pinned oracle).
+
+    Same float32 operations in the same order as the vectorized path:
+    premultiply, contribution ``(c * a) * T``, running transparency
+    ``t *= 1 - a`` per ray.
+    """
+    n_slices = vol_view.shape[0]
+    h, w = vol_view.shape[1:]
+    accum = np.zeros((h, w, 4), dtype=np.float32)
+    transp = np.ones((h, w), dtype=np.float32)
+    depth_num = np.zeros((h, w), dtype=np.float32) if return_depth else None
+    depth_den = np.zeros((h, w), dtype=np.float32) if return_depth else None
+    one = np.float32(1.0)
+    inv_span = 1.0 / max(n_slices - 1, 1)
+    for position in range(n_slices):
+        rgba = tf(vol_view[position])
+        frac = position * inv_span
+        for r in range(h):
+            for c in range(w):
+                a = rgba[r, c, 3]
+                t = transp[r, c]
+                accum[r, c, :3] += (rgba[r, c, :3] * a) * t
+                ca = a * t
+                accum[r, c, 3] += ca
+                if return_depth:
+                    assert depth_num is not None and depth_den is not None
+                    depth_num[r, c] += ca * frac
+                    depth_den[r, c] += ca
+                transp[r, c] = t * (one - a)
+    return accum, _finish_depth(depth_num, depth_den, (h, w), return_depth)
+
+
+def _finish_depth(
+    depth_num: Optional[np.ndarray],
+    depth_den: Optional[np.ndarray],
+    out_shape: Tuple[int, ...],
+    return_depth: bool,
+) -> Optional[np.ndarray]:
+    if not return_depth:
+        return None
+    assert depth_num is not None and depth_den is not None
+    depth = np.zeros(out_shape, dtype=np.float32)
+    hit = depth_den > 1e-12
+    depth[hit] = depth_num[hit] / depth_den[hit]
+    return depth
 
 
 def view_direction(azimuth_deg: float, elevation_deg: float) -> np.ndarray:
@@ -111,12 +207,21 @@ def render_view(
     *,
     image_size: int = 128,
     samples_per_voxel: float = 1.0,
+    vectorized: bool = True,
+    early_exit: bool = True,
+    stats: Optional[Dict[str, int]] = None,
 ) -> np.ndarray:
     """Ground-truth orthographic render along an arbitrary direction.
 
     The image plane is perpendicular to ``direction``, centered on the
     volume, sized to circumscribe it. Opacity is corrected for sample
     spacing so results are comparable across step sizes.
+
+    ``early_exit`` stops compositing once every ray's transparency has
+    dropped below the opacity cutoff (in the vectorized path this is an
+    opacity-threshold mask over the precomputed transparency stack; the
+    scalar oracle breaks out of its sample loop).  When ``stats`` is
+    given it receives ``samples_visited`` / ``n_samples``.
     """
     volume = _check_volume(volume)
     if image_size < 2:
@@ -168,19 +273,72 @@ def render_view(
 
     rgba = tf(scalars)  # (H, W, S, 4), straight alpha
     # Opacity correction: control points define opacity per voxel step.
-    alpha = 1.0 - np.power(
-        np.clip(1.0 - rgba[..., 3], 1e-7, 1.0), step_voxels
-    )
+    # float32 throughout the composite so the oracle's running
+    # transparency and the vectorized cumprod round identically.
+    alpha = (
+        1.0 - np.power(np.clip(1.0 - rgba[..., 3], 1e-7, 1.0), step_voxels)
+    ).astype(np.float32)
     color = rgba[..., :3]
 
+    if vectorized:
+        accum, visited = _composite_view_vectorized(
+            color, alpha, image_size, early_exit
+        )
+    else:
+        accum, visited = _composite_view_scalar(
+            color, alpha, image_size, early_exit
+        )
+    if stats is not None:
+        stats["samples_visited"] = visited
+        stats["n_samples"] = n_samples
+    return accum
+
+
+def _composite_view_vectorized(
+    color: np.ndarray, alpha: np.ndarray, image_size: int, early_exit: bool
+) -> Tuple[np.ndarray, int]:
+    n_samples = alpha.shape[2]
+    # Exclusive cumprod: transparency *before* each sample, per ray.
+    t_before = np.empty_like(alpha)
+    t_before[:, :, 0] = 1.0
+    np.cumprod(1.0 - alpha[:, :, :-1], axis=2, out=t_before[:, :, 1:])
+
+    visited = n_samples
+    if early_exit:
+        # The oracle breaks *after* accumulating sample s once
+        # max(T_{s+1}) < cutoff; T is nonincreasing per ray, so the
+        # image-wide max is nonincreasing and the mask has one edge.
+        t_after = t_before[:, :, 1:].max(axis=(0, 1)).astype(np.float64)
+        below = np.flatnonzero(t_after < _OPACITY_CUTOFF)
+        if below.size:
+            visited = int(below[0]) + 1
+
+    contrib_rgb = color[:, :, :visited, :] * alpha[:, :, :visited, None]
+    contrib_rgb *= t_before[:, :, :visited, None]
+    contrib_a = t_before[:, :, :visited] * alpha[:, :, :visited]
+
+    accum = np.zeros((image_size, image_size, 4), dtype=np.float32)
+    for s in range(visited):
+        accum[..., :3] += contrib_rgb[:, :, s, :]
+        accum[..., 3] += contrib_a[:, :, s]
+    return accum, visited
+
+
+def _composite_view_scalar(
+    color: np.ndarray, alpha: np.ndarray, image_size: int, early_exit: bool
+) -> Tuple[np.ndarray, int]:
+    """Reference per-sample composite loop (the pinned oracle)."""
+    n_samples = alpha.shape[2]
     accum = np.zeros((image_size, image_size, 4), dtype=np.float32)
     transparency = np.ones((image_size, image_size, 1), dtype=np.float32)
+    visited = n_samples
     for s in range(n_samples):
         a = alpha[:, :, s, None]
         pre = color[:, :, s, :] * a
         accum[..., :3] += transparency * pre
         accum[..., 3:] += transparency * a
         transparency *= 1.0 - a
-        if float(transparency.max()) < 1e-4:
+        if early_exit and float(transparency.max()) < _OPACITY_CUTOFF:
+            visited = s + 1
             break
-    return accum
+    return accum, visited

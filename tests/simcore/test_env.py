@@ -187,6 +187,35 @@ def test_unhandled_process_crash_propagates():
         env.run()
 
 
+def test_concurrent_crashes_raise_first_and_attach_rest():
+    # Two processes crashing off the same event tick: the first crash
+    # must surface and the second must NOT be silently discarded -- it
+    # rides along on ``sim_concurrent_crashes``.
+    env = Environment()
+    gate = env.event()
+
+    def crasher(env, gate, label):
+        yield gate
+        raise ValueError(label)
+
+    def opener(env, gate):
+        yield env.timeout(1.0)
+        gate.succeed()
+
+    env.process(crasher(env, gate, "first"))
+    env.process(crasher(env, gate, "second"))
+    env.process(opener(env, gate))
+    with pytest.raises(ValueError, match="first") as excinfo:
+        env.run()
+    dropped = excinfo.value.sim_concurrent_crashes
+    assert len(dropped) == 1
+    process, other = dropped[0]
+    assert isinstance(other, ValueError)
+    assert str(other) == "second"
+    notes = getattr(excinfo.value, "__notes__", [])
+    assert any("concurrent unhandled crash" in note for note in notes)
+
+
 def test_crash_propagates_to_waiting_process():
     env = Environment()
     outcomes = []

@@ -1,0 +1,96 @@
+"""Heap vs calendar scheduler: identical simulations, byte-identical logs.
+
+``Environment(scheduler="calendar")`` swaps the event engine under the
+run loop; nothing observable may change.  These tests pin that at two
+levels: a randomized process workload whose full (time, value) trace
+must match event-for-event, and every campaign in the registry, whose
+ULM event stream must be byte-identical under either engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.simcore.env as env_mod
+from repro.core import CampaignConfig, run_campaign
+from repro.core.campaign import campaign_names, named_campaign
+from repro.simcore.env import Environment
+
+
+def _random_workload_trace(scheduler: str, seed: int) -> list:
+    """Run a randomized timeout/event workload; return the full trace."""
+    rng = random.Random(seed)
+    env = Environment(scheduler=scheduler)
+    trace: list = []
+
+    def hopper(env: Environment, ident: int):
+        for hop in range(rng.randint(3, 12)):
+            delay = rng.choice([0.0, 1e-4, 0.5, rng.random() * 10.0])
+            yield env.timeout(delay)
+            trace.append(("hop", ident, hop, env.now))
+
+    def waiter(env: Environment, ident: int, gate):
+        value = yield gate
+        trace.append(("gate", ident, value, env.now))
+
+    gate = env.event()
+    for k in range(rng.randint(5, 25)):
+        env.process(hopper(env, k))
+        if k % 3 == 0:
+            env.process(waiter(env, k, gate))
+
+    def opener(env: Environment):
+        yield env.timeout(2.5)
+        gate.succeed("open")
+
+    env.process(opener(env))
+    env.run()
+    return trace
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 11, 42, 97, 123])
+def test_random_workloads_trace_identically(seed):
+    heap_trace = _random_workload_trace("heap", seed)
+    calendar_trace = _random_workload_trace("calendar", seed)
+    assert heap_trace, "workload produced an empty trace"
+    assert heap_trace == calendar_trace
+
+
+def _scaled(name: str):
+    """A registry campaign shrunk to test size (same code paths)."""
+    config = named_campaign(name)
+    if name == "sc99-serve10k":
+        from repro.service.shard import ShardCampaign
+
+        return ShardCampaign.sc99_serve10k(n_sessions=60)
+    if name == "sc99-multiviewer":
+        return config.with_changes(
+            workload=config.workload.with_changes(n_viewers=3),
+            base=config.base.with_changes(
+                n_timesteps=2, shape=(96, 48, 48), dataset_timesteps=8
+            ),
+        )
+    assert isinstance(config, CampaignConfig)
+    return config.with_changes(
+        shape=(64, 32, 32), dataset_timesteps=8, n_timesteps=2
+    )
+
+
+def _ulm_bytes(config, tmp_path, scheduler: str, monkeypatch) -> bytes:
+    monkeypatch.setattr(env_mod, "DEFAULT_SCHEDULER", scheduler)
+    path = tmp_path / f"{scheduler}.ulm"
+    run_campaign(config, ulm_path=str(path))
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("name", campaign_names())
+def test_registry_ulm_byte_parity_heap_vs_calendar(
+    name, tmp_path, monkeypatch
+):
+    config = _scaled(name)
+    heap = _ulm_bytes(config, tmp_path, "heap", monkeypatch)
+    calendar = _ulm_bytes(_scaled(name), tmp_path, "calendar", monkeypatch)
+    assert heap, f"campaign {name} produced an empty ULM log"
+    assert heap == calendar

@@ -1,0 +1,104 @@
+"""Vectorized render kernels vs their pinned scalar oracles.
+
+The batched transfer-function/cumprod paths in ``render_slab`` and
+``render_view`` must be *bitwise* identical to the per-pixel reference
+walks (``vectorized=False``) -- not merely close.  Early exit is an
+opacity-threshold mask in the vectorized path and a loop break in the
+scalar path; both must leave the image untouched relative to the
+no-early-exit composite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.volren import TransferFunction, render_slab, render_view
+
+
+def _random_volume(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape, dtype=np.float32)
+
+
+class TestRenderSlabParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bitwise_identical_random_volumes(self, seed):
+        vol = _random_volume((9, 13, 11), seed)
+        tf = TransferFunction.fire()
+        vec_img, vec_depth = render_slab(vol, tf, return_depth=True)
+        ref_img, ref_depth = render_slab(
+            vol, tf, return_depth=True, vectorized=False
+        )
+        assert np.array_equal(vec_img, ref_img)
+        assert np.array_equal(vec_depth, ref_depth)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    @pytest.mark.parametrize("flip", [False, True])
+    def test_bitwise_identical_every_axis_and_flip(self, axis, flip):
+        vol = _random_volume((8, 10, 12), 77)
+        tf = TransferFunction.grayscale()
+        vec_img, _ = render_slab(vol, tf, axis=axis, flip=flip)
+        ref_img, _ = render_slab(
+            vol, tf, axis=axis, flip=flip, vectorized=False
+        )
+        assert np.array_equal(vec_img, ref_img)
+
+    def test_opaque_volume_parity(self):
+        # Saturating opacity exercises the early-out masking paths.
+        vol = np.ones((12, 8, 8), dtype=np.float32)
+        tf = TransferFunction([(0, 0, 0, 0, 0), (1, 1, 1, 1, 1)])
+        vec_img, vec_depth = render_slab(vol, tf, return_depth=True)
+        ref_img, ref_depth = render_slab(
+            vol, tf, return_depth=True, vectorized=False
+        )
+        assert np.array_equal(vec_img, ref_img)
+        assert np.array_equal(vec_depth, ref_depth)
+
+
+class TestRenderViewParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bitwise_identical_random_volumes(self, seed):
+        vol = _random_volume((10, 10, 10), 100 + seed)
+        tf = TransferFunction.fire()
+        direction = [(1, 0, 0), (0.4, -0.7, 0.3), (1, 1, 1)][seed]
+        vec = render_view(vol, tf, direction, image_size=24)
+        ref = render_view(
+            vol, tf, direction, image_size=24, vectorized=False
+        )
+        assert np.array_equal(vec, ref)
+
+
+class TestRenderViewEarlyExit:
+    def _opaque_front_volume(self):
+        # A fully opaque block fills the volume: every ray saturates
+        # within the first few samples, so early exit must trigger.
+        return np.ones((12, 12, 12), dtype=np.float32)
+
+    def test_early_exit_triggers_and_is_bitwise_invisible(self):
+        # Saturating opacity drives every ray's transparency to exactly
+        # 0.0, so every skipped sample's contribution is exactly zero:
+        # the break changes nothing but the visit count.
+        vol = self._opaque_front_volume()
+        tf = TransferFunction([(0, 1, 1, 1, 1.0), (1, 1, 1, 1, 1.0)])
+        for vectorized in (True, False):
+            stats_on: dict = {}
+            stats_off: dict = {}
+            with_exit = render_view(
+                vol, tf, (1, 0, 0), image_size=16,
+                vectorized=vectorized, early_exit=True, stats=stats_on,
+            )
+            without_exit = render_view(
+                vol, tf, (1, 0, 0), image_size=16,
+                vectorized=vectorized, early_exit=False, stats=stats_off,
+            )
+            # The break must actually fire...
+            assert stats_on["samples_visited"] < stats_off["samples_visited"]
+            assert stats_off["samples_visited"] == stats_off["n_samples"]
+            # ...and must not change a single bit of the image.
+            assert np.array_equal(with_exit, without_exit)
+
+    def test_transparent_volume_never_exits_early(self):
+        vol = np.zeros((8, 8, 8), dtype=np.float32)
+        tf = TransferFunction.grayscale()
+        stats: dict = {}
+        render_view(vol, tf, (0, 0, 1), image_size=8, stats=stats)
+        assert stats["samples_visited"] == stats["n_samples"]
